@@ -1,0 +1,21 @@
+// Shared helpers for the paper-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace ga::bench {
+
+/// Prints a section banner so concatenated bench output stays navigable.
+inline void banner(const std::string& title) {
+    std::printf("\n================ %s ================\n", title.c_str());
+}
+
+/// Formats a normalized-cost cell the way the paper's tables do.
+inline std::string norm(double value, double reference) {
+    return ga::util::TablePrinter::num(value / reference, 2);
+}
+
+}  // namespace ga::bench

@@ -1,0 +1,51 @@
+// Figure 10: probability a job was run (given it was seen) vs the mean
+// energy participants consumed on it — per version, with correlations.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "stats/correlation.hpp"
+#include "study/study.hpp"
+#include "util/table.hpp"
+
+int main() {
+    ga::bench::banner("Figure 10: run probability vs job energy");
+
+    const auto results = ga::study::run_study();
+    const auto per_job = results.per_job_stats();
+
+    ga::util::TablePrinter table({"Job", "V1 P(run)", "V1 E", "V2 P(run)",
+                                  "V2 E", "V3 P(run)", "V3 E"});
+    for (int j = 0; j < ga::study::Game::kTotalJobs; ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        std::vector<std::string> row = {std::to_string(j)};
+        for (std::size_t v = 0; v < 3; ++v) {
+            const auto& s = per_job[v][ju];
+            row.push_back(ga::util::TablePrinter::num(s.run_probability, 2));
+            row.push_back(s.times_run > 0
+                              ? ga::util::TablePrinter::num(s.mean_energy, 0)
+                              : std::string("-"));
+        }
+        table.add_row(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\nPearson correlation of P(run) with mean job energy:\n");
+    for (std::size_t v = 0; v < 3; ++v) {
+        std::vector<double> prob;
+        std::vector<double> energy;
+        for (const auto& s : per_job[v]) {
+            if (s.times_seen < 5 || s.times_run == 0) continue;
+            prob.push_back(s.run_probability);
+            energy.push_back(s.mean_energy);
+        }
+        const double r = ga::stats::pearson(prob, energy);
+        std::printf("  V%zu: r = %+.3f (p = %.2f, n = %zu)\n", v + 1, r,
+                    ga::stats::pearson_p_value(r, prob.size()), prob.size());
+    }
+    std::printf(
+        "\nPaper finding: no correlation in any version — even when cost\n"
+        "depended on energy (V3), the DECISION to run a job was not influenced\n"
+        "by its energy; participants saved energy by choosing efficient\n"
+        "machines, not by dropping energy-hungry jobs.\n");
+    return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 1: "Are you aware of how the HPC resources you use perform on the
+// following sustainability metrics?" — responses per metric.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "study/survey.hpp"
+#include "util/table.hpp"
+
+int main() {
+    ga::bench::banner("Figure 1: awareness of sustainability metrics");
+
+    ga::util::TablePrinter table({"Metric", "Yes", "No", "Not Applicable", "Total"});
+    table.set_title(
+        "Responses to: are you aware of how your resources perform on...");
+    for (const auto& row : ga::study::fig1_metric_awareness()) {
+        table.add_row({row.metric, std::to_string(row.yes), std::to_string(row.no),
+                       std::to_string(row.not_applicable),
+                       std::to_string(row.total())});
+    }
+    std::printf("%s", table.render().c_str());
+
+    const auto& a = ga::study::awareness();
+    std::printf(
+        "\nKey statistics (paper section 2.2):\n"
+        "  familiar with Green500:            %d (paper: 94, 51%%)\n"
+        "  know own machine's Green500 rank:  %d (paper: 36, 20%% of all)\n"
+        "  familiar with carbon intensity:    %d (paper: 55, 30%%)\n",
+        a.know_green500, a.know_own_green500_rank, a.know_carbon_intensity);
+    return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 2: importance of factors when choosing where to run a job.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "study/survey.hpp"
+#include "util/table.hpp"
+
+int main() {
+    ga::bench::banner("Figure 2: machine-selection priorities");
+
+    ga::util::TablePrinter table(
+        {"Factor", "1 (Not Important)", "2", "3 (Very Important)", "VeryImp %"});
+    for (const auto& row : ga::study::fig2_factor_importance()) {
+        const double pct =
+            100.0 * row.very_important / static_cast<double>(row.total());
+        table.add_row({row.factor, std::to_string(row.not_important),
+                       std::to_string(row.neutral),
+                       std::to_string(row.very_important),
+                       ga::util::TablePrinter::num(pct, 0)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nPaper anchors: Performance very-important = 83 (46%%); Energy\n"
+        "very-important = 25 (12%%) — energy efficiency is among the least\n"
+        "important selection factors.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 5: simulating EBA across the eight machine-selection policies.
+//   5a — work completed (machine-averaged core-hours) under a fixed
+//        EBA allocation;
+//   5b — jobs finished over time (unbudgeted runs);
+//   5c — distribution of jobs over machines per policy.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "bench_sim_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+    ga::bench::banner("Figure 5: EBA simulation (8 policies)");
+    const auto simulator = ga::bench::make_simulator();
+
+    // The fixed allocation: 75% of what Greedy needs for the full workload.
+    const auto greedy_full =
+        ga::bench::run(simulator, ga::sim::Policy::Greedy, ga::acct::Method::Eba);
+    const double budget = greedy_full.total_cost * 0.75;
+    std::printf("fixed EBA allocation: %.3g (75%% of Greedy's full-run cost)\n",
+                budget);
+
+    // ---- 5a: work at fixed allocation + 5c: machine distribution ----
+    ga::util::TablePrinter work_table(
+        {"Policy", "Work (M core-h)", "Jobs done", "Skipped"});
+    work_table.set_title("Fig 5a: work completed with a fixed EBA allocation");
+    ga::util::TablePrinter dist_table(
+        {"Policy", "FASTER", "Desktop", "IC", "Theta"});
+    dist_table.set_title("Fig 5c: distribution of jobs over machines (unbudgeted)");
+
+    std::vector<std::pair<ga::sim::Policy, ga::sim::SimResult>> unbudgeted;
+    for (const auto policy : ga::sim::all_policies()) {
+        const auto budgeted = ga::bench::run(simulator, policy,
+                                             ga::acct::Method::Eba, budget);
+        work_table.add_row(
+            {std::string(ga::sim::to_string(policy)),
+             ga::util::TablePrinter::num(budgeted.work_core_hours / 1e6, 2),
+             std::to_string(budgeted.jobs_completed),
+             std::to_string(budgeted.jobs_skipped)});
+
+        const auto full =
+            ga::bench::run(simulator, policy, ga::acct::Method::Eba);
+        dist_table.add_row(
+            {std::string(ga::sim::to_string(policy)),
+             std::to_string(full.jobs_per_machine.at("FASTER")),
+             std::to_string(full.jobs_per_machine.at("Desktop")),
+             std::to_string(full.jobs_per_machine.at("IC")),
+             std::to_string(full.jobs_per_machine.at("Theta"))});
+        unbudgeted.emplace_back(policy, full);
+    }
+    std::printf("%s", work_table.render().c_str());
+
+    // ---- 5b: jobs finished over time ----
+    ga::util::TablePrinter time_table({"Policy", "t=25%", "t=50%", "t=75%",
+                                       "t=100%", "makespan (d)"});
+    time_table.set_title(
+        "Fig 5b: jobs finished (thousands) at fractions of the slowest makespan");
+    double max_makespan = 0.0;
+    for (const auto& [p, r] : unbudgeted) {
+        max_makespan = std::max(max_makespan, r.makespan_s);
+    }
+    for (const auto& [p, r] : unbudgeted) {
+        std::vector<std::string> row = {std::string(ga::sim::to_string(p))};
+        for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
+            const double t = frac * max_makespan;
+            const auto done = std::lower_bound(r.finish_times_s.begin(),
+                                               r.finish_times_s.end(), t) -
+                              r.finish_times_s.begin();
+            row.push_back(ga::util::TablePrinter::num(
+                static_cast<double>(done) / 1000.0, 1));
+        }
+        row.push_back(ga::util::TablePrinter::num(r.makespan_s / 86400.0, 1));
+        time_table.add_row(std::move(row));
+    }
+    std::printf("%s%s", time_table.render().c_str(), dist_table.render().c_str());
+
+    std::printf(
+        "\nPaper shapes: Greedy completes the most work (28%% more than EFT);\n"
+        "Energy reaches ~99%% of Greedy; single-machine policies and EFT/\n"
+        "Runtime trail badly; Greedy/Energy route nothing to Theta; Mixed\n"
+        "spreads over all four machines to cut completion time.\n");
+    return 0;
+}

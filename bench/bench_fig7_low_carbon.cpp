@@ -1,0 +1,102 @@
+// Figure 7: the low-carbon scenario. Each facility sits on a high-variability
+// grid (AU-SA, CA-ON, NO-NO2, DK-BHM).
+//   7a — work completed under a fixed CBA allocation per policy;
+//   7b — hourly carbon intensity of the four grids over one day;
+//   7c — which machine is the cheapest CBA endpoint as the day progresses.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "bench_sim_common.hpp"
+#include "carbon/grids.hpp"
+#include "core/accounting.hpp"
+#include "util/table.hpp"
+
+int main() {
+    ga::bench::banner("Figure 7: CBA with low-carbon regional grids");
+    const auto simulator = ga::bench::make_simulator();
+
+    // ---- 7a ----
+    const auto greedy_full = ga::bench::run(
+        simulator, ga::sim::Policy::Greedy, ga::acct::Method::Cba, 0.0, true);
+    const double budget = greedy_full.total_cost * 0.75;
+    ga::util::TablePrinter work_table({"Policy", "Work (M core-h)", "Jobs done"});
+    work_table.set_title("Fig 7a: work at fixed CBA allocation, regional grids");
+    for (const auto policy : ga::sim::multi_machine_policies()) {
+        const auto r = ga::bench::run(simulator, policy, ga::acct::Method::Cba,
+                                      budget, true);
+        work_table.add_row(
+            {std::string(ga::sim::to_string(policy)),
+             ga::util::TablePrinter::num(r.work_core_hours / 1e6, 2),
+             std::to_string(r.jobs_completed)});
+    }
+    std::printf("%s", work_table.render().c_str());
+
+    // ---- 7b ----
+    std::map<std::string, ga::carbon::IntensityTrace> traces;
+    std::map<std::string, std::string> machine_region;
+    for (const auto& entry : ga::machine::simulation_machines()) {
+        traces.emplace(entry.node.name,
+                       ga::carbon::synthesize(
+                           ga::carbon::region(entry.grid_region), 30, 77));
+        machine_region[entry.node.name] = entry.grid_region;
+    }
+    ga::util::TablePrinter grid_table({"Hour", "AU-SA (IC)", "CA-ON (FASTER)",
+                                       "NO-NO2 (Desktop)", "DK-BHM (Theta)"});
+    grid_table.set_title("Fig 7b: carbon intensity (gCO2e/kWh), simulation day 3");
+    const double day = 3 * 86400.0;
+    for (int h = 0; h < 24; h += 2) {
+        const double t = day + h * 3600.0;
+        grid_table.add_row(
+            {std::to_string(h),
+             ga::util::TablePrinter::num(traces.at("IC").at(t), 0),
+             ga::util::TablePrinter::num(traces.at("FASTER").at(t), 0),
+             ga::util::TablePrinter::num(traces.at("Desktop").at(t), 0),
+             ga::util::TablePrinter::num(traces.at("Theta").at(t), 0)});
+    }
+    std::printf("%s", grid_table.render().c_str());
+
+    // ---- 7c ----
+    const ga::acct::CarbonBasedAccounting cba(std::move(traces));
+    ga::util::TablePrinter cheapest_table(
+        {"Hour", "Cheapest (<=16 cores)", "Cost (g)", "Cheapest (32 cores)",
+         "Cost (g)"});
+    cheapest_table.set_title(
+        "Fig 7c: lowest-CBA-cost machine for a 1 kWh, 1-hour job, by hour");
+    std::map<std::string, int> wins;
+    for (int h = 0; h < 24; ++h) {
+        std::vector<std::string> row = {std::to_string(h)};
+        for (const int cores : {16, 32}) {
+            ga::acct::JobUsage u;
+            u.duration_s = 3600.0;
+            u.energy_j = 3.6e6;
+            u.cores = cores;
+            u.submit_time_s = day + h * 3600.0;
+            std::string best;
+            double best_cost = 1e300;
+            for (const auto& entry : ga::machine::simulation_machines()) {
+                if (u.cores > entry.node.total_cores()) continue;
+                const double c = cba.charge(u, entry);
+                if (c < best_cost) {
+                    best_cost = c;
+                    best = entry.node.name;
+                }
+            }
+            if (cores == 32) ++wins[best];  // cluster-only competition
+            row.push_back(best);
+            row.push_back(ga::util::TablePrinter::num(best_cost, 1));
+        }
+        cheapest_table.add_row(std::move(row));
+    }
+    std::printf("%s", cheapest_table.render().c_str());
+    std::printf("\nshare of hours won (32-core jobs):");
+    for (const auto& [m, n] : wins) {
+        std::printf(" %s=%d/24", m.c_str(), n);
+    }
+    std::printf(
+        "\n\nPaper shapes: the carbon-aware Greedy completes the most work; the\n"
+        "cheapest endpoint shifts across the day (Theta/DK-BHM early, IC/AU-SA\n"
+        "when Australian solar comes online) — CBA incentivizes temporal and\n"
+        "spatial alignment with renewable generation.\n");
+    return 0;
+}

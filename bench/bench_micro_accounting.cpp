@@ -1,0 +1,31 @@
+// Micro-benchmarks (google-benchmark): the accounting hot path — cost
+// evaluation per method, as called once per job per candidate machine by the
+// simulator's policy loop.
+#include <benchmark/benchmark.h>
+
+#include "core/accounting.hpp"
+#include "machine/catalog.hpp"
+
+namespace {
+
+void BM_Charge(benchmark::State& state, ga::acct::Method method) {
+    const auto accountant = ga::acct::make_accountant(method);
+    const auto& machine =
+        ga::machine::find(ga::machine::CatalogId::InstitutionalCluster);
+    ga::acct::JobUsage usage;
+    usage.duration_s = 1234.0;
+    usage.energy_j = 5.6e6;
+    usage.cores = 16;
+    usage.submit_time_s = 7200.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(accountant->charge(usage, machine));
+    }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Charge, runtime, ga::acct::Method::Runtime);
+BENCHMARK_CAPTURE(BM_Charge, energy, ga::acct::Method::Energy);
+BENCHMARK_CAPTURE(BM_Charge, peak, ga::acct::Method::Peak);
+BENCHMARK_CAPTURE(BM_Charge, eba, ga::acct::Method::Eba);
+BENCHMARK_CAPTURE(BM_Charge, cba, ga::acct::Method::Cba);

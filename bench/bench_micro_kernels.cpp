@@ -1,0 +1,31 @@
+// Micro-benchmarks (google-benchmark): throughput of the instrumented
+// application kernels at test scale.
+#include <benchmark/benchmark.h>
+
+#include "kernels/kernel.hpp"
+
+namespace {
+
+void BM_Kernel(benchmark::State& state, const char* name) {
+    const auto kernel = ga::kernels::make_kernel(name);
+    const int n = kernel->test_scale();
+    double flops = 0.0;
+    for (auto _ : state) {
+        const auto result = kernel->run(n);
+        benchmark::DoNotOptimize(result.checksum);
+        flops = result.profile.flops;
+    }
+    state.counters["counted_gflops"] =
+        benchmark::Counter(flops * 1e-9 * static_cast<double>(state.iterations()),
+                           benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Kernel, cholesky, "Cholesky")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Kernel, matmul, "MatMul")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Kernel, pagerank, "Pagerank")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Kernel, bfs, "BFS")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Kernel, mst, "MST")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Kernel, md, "MD")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Kernel, dnaviz, "DNA Viz.")->Unit(benchmark::kMillisecond);

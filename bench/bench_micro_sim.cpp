@@ -1,0 +1,45 @@
+// Micro-benchmarks (google-benchmark): batch-simulator throughput — jobs
+// simulated per second for each policy.
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+const ga::sim::BatchSimulator& simulator() {
+    static const ga::sim::BatchSimulator sim = [] {
+        ga::workload::TraceOptions o;
+        o.base_jobs = 5000;
+        o.users = 100;
+        o.span_days = 6.0;
+        o.seed = 51;
+        return ga::sim::BatchSimulator(ga::workload::build_workload(o));
+    }();
+    return sim;
+}
+
+void BM_Policy(benchmark::State& state, ga::sim::Policy policy) {
+    ga::sim::SimOptions o;
+    o.policy = policy;
+    o.pricing = ga::acct::Method::Eba;
+    for (auto _ : state) {
+        const auto r = simulator().run(o);
+        benchmark::DoNotOptimize(r.work_core_hours);
+    }
+    state.counters["jobs/s"] = benchmark::Counter(
+        static_cast<double>(simulator().workload().jobs.size()) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Policy, greedy, ga::sim::Policy::Greedy)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Policy, energy, ga::sim::Policy::Energy)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Policy, mixed, ga::sim::Policy::Mixed)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Policy, eft, ga::sim::Policy::Eft)
+    ->Unit(benchmark::kMillisecond);

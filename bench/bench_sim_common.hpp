@@ -1,0 +1,35 @@
+// Shared setup for the §5 simulation benches (Figs 5–7, Table 6).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace ga::bench {
+
+/// Builds the paper-scale workload (142,380 jobs) and the simulator.
+/// Pass `scale < 1.0` to shrink for quick runs.
+inline ga::sim::BatchSimulator make_simulator(double scale = 1.0) {
+    ga::workload::TraceOptions options;  // paper defaults: 71,190 x 2 jobs
+    options.base_jobs =
+        static_cast<std::size_t>(static_cast<double>(options.base_jobs) * scale);
+    std::printf("building workload: %zu jobs over %zu users...\n",
+                options.total_jobs(), options.users);
+    return ga::sim::BatchSimulator(ga::workload::build_workload(options));
+}
+
+/// Runs one policy/pricing combination.
+inline ga::sim::SimResult run(const ga::sim::BatchSimulator& simulator,
+                              ga::sim::Policy policy, ga::acct::Method pricing,
+                              double budget = 0.0, bool regional = false) {
+    ga::sim::SimOptions o;
+    o.policy = policy;
+    o.pricing = pricing;
+    o.budget = budget;
+    o.regional_grids = regional;
+    return simulator.run(o);
+}
+
+}  // namespace ga::bench

@@ -1,0 +1,37 @@
+// Table 2: GPU node specifications and the per-#GPU embodied carbon rates
+// computed from the SCARIF-like estimates + double-declining-balance
+// depreciation.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "carbon/rates.hpp"
+#include "machine/catalog.hpp"
+#include "util/table.hpp"
+
+int main() {
+    ga::bench::banner("Table 2: GPU specifications and carbon rates");
+
+    ga::util::TablePrinter table({"GPU", "Year", "GFlop/s", "TDP (W)",
+                                  "rate x1", "rate x2", "rate x4", "rate x8"});
+    table.set_title("Carbon rate in gCO2e/h for jobs using 1/2/4/8 devices");
+    for (const auto& entry : ga::machine::gpu_nodes()) {
+        std::vector<std::string> row = {
+            entry.node.name, std::to_string(entry.node.gpu.year),
+            ga::util::TablePrinter::num(entry.node.gpu.gflops, 0),
+            ga::util::TablePrinter::num(entry.node.gpu.tdp_w, 0)};
+        for (const int k : {1, 2, 4, 8}) {
+            if (k > entry.node.gpu_count) {
+                row.push_back("-");
+            } else {
+                row.push_back(ga::util::TablePrinter::num(
+                    ga::carbon::gpu_job_rate_g_per_hour(entry, k), 1));
+            }
+        }
+        table.add_row(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nPaper values (gCO2e/h): P100 8.5/9.1; V100 19/20/23/28;\n"
+        "A100 87/93/106/131. Average grid intensity at all nodes: 53 gCO2e/kWh.\n");
+    return 0;
+}

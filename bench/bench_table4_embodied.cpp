@@ -1,0 +1,56 @@
+// Table 4: operational carbon vs two ways of attributing embodied carbon
+// (linear and the paper's accelerated depreciation) for the Cholesky job on
+// the four Chameleon CPU nodes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "carbon/rates.hpp"
+#include "core/accounting.hpp"
+#include "kernels/kernel.hpp"
+#include "machine/catalog.hpp"
+#include "machine/perf.hpp"
+#include "util/table.hpp"
+
+int main() {
+    ga::bench::banner("Table 4: linear vs accelerated embodied-carbon attribution");
+
+    const auto kernel = ga::kernels::make_cholesky();
+    std::printf("executing Cholesky n=%d on the host...\n", kernel->paper_scale());
+    const auto result = kernel->run(kernel->paper_scale());
+
+    const ga::machine::CpuPerfModel model;
+    const ga::acct::CarbonBasedAccounting cba;
+
+    ga::util::TablePrinter table({"Machine", "Age", "Operational (mg)",
+                                  "Linear (mg)", "Accel. (mg)", "Accel/Linear"});
+    for (const auto& entry : ga::machine::chameleon_cpu_nodes()) {
+        const auto exec = model.execute(result.profile, entry.node, 1);
+        ga::acct::JobUsage u;
+        u.duration_s = exec.seconds;
+        u.energy_j = exec.joules;
+        u.cores = 1;
+        const double op_mg = cba.operational_g(u, entry) * 1000.0;
+        const double hours = exec.seconds / 3600.0;
+        const double linear_mg =
+            ga::carbon::per_core_rate_g_per_hour(
+                entry, ga::carbon::DepreciationMethod::Linear) *
+            hours * 1000.0;
+        const double accel_mg =
+            ga::carbon::per_core_rate_g_per_hour(
+                entry, ga::carbon::DepreciationMethod::DoubleDeclining) *
+            hours * 1000.0;
+        table.add_row({entry.node.name,
+                       ga::util::TablePrinter::num(entry.age_years(), 0),
+                       ga::util::TablePrinter::num(op_mg, 2),
+                       ga::util::TablePrinter::num(linear_mg, 2),
+                       ga::util::TablePrinter::num(accel_mg, 2),
+                       ga::util::TablePrinter::num(accel_mg / linear_mg, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nPaper values (mg): op 2.1/2.8/0.9/1.2; linear 1.5/1.0/1.4/1.3;\n"
+        "accel 0.6/0.3/1.0/1.6. The age-only ratio accel/linear = 2*0.6^age is\n"
+        "exact: 0.43 (age 3), 0.26 (4), 0.72 (2), 1.20 (1) — accelerated\n"
+        "depreciation charges old machines less and new machines more.\n");
+    return 0;
+}

@@ -1,0 +1,34 @@
+// Table 5: the simulation machine population with computed embodied carbon
+// and DDB carbon rates.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "carbon/rates.hpp"
+#include "machine/catalog.hpp"
+#include "util/table.hpp"
+
+int main() {
+    ga::bench::banner("Table 5: simulation machines");
+
+    ga::util::TablePrinter table({"Machine", "Deployed", "CPU", "Cores",
+                                  "TDP (W)", "Idle (W)", "Embodied (kg)",
+                                  "Rate (g/h)", "Avg I (g/kWh)"});
+    for (const auto& entry : ga::machine::simulation_machines()) {
+        table.add_row({entry.node.name, std::to_string(entry.node.year_deployed),
+                       entry.node.cpu.model,
+                       std::to_string(entry.node.total_cores()),
+                       ga::util::TablePrinter::num(entry.node.cpu.tdp_w, 0),
+                       ga::util::TablePrinter::num(entry.node.idle_w(), 1),
+                       ga::util::TablePrinter::num(entry.embodied().total_kg(), 0),
+                       ga::util::TablePrinter::num(
+                           ga::carbon::node_rate_g_per_hour(entry), 1),
+                       ga::util::TablePrinter::num(entry.avg_carbon_intensity, 0)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nPaper values — TDP: 205/65/205/215 W; idle: 205/6.51/136/110 W;\n"
+        "carbon rate: 105.2/12.2/16.7/2.0 g/h; intensity: 389/454/454/502.\n"
+        "(Desktop's rate differs because Table 4 pins its deployment year; see\n"
+        "EXPERIMENTS.md.)\n");
+    return 0;
+}

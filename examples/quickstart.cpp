@@ -1,0 +1,52 @@
+// Quickstart: price one computation under all five accounting methods.
+//
+// Shows the core API in ~40 lines: run a work-metered kernel, map it onto a
+// catalog machine with the execution model, and ask each accountant what the
+// job costs.
+#include <cstdio>
+
+#include "core/accounting.hpp"
+#include "core/allocation.hpp"
+#include "kernels/kernel.hpp"
+#include "machine/catalog.hpp"
+#include "machine/perf.hpp"
+
+int main() {
+    // 1. Really execute an application and capture its work profile.
+    const auto kernel = ga::kernels::make_cholesky();
+    const auto run = kernel->run(2048);
+    std::printf("Cholesky n=2048: %.2f Gflop, %.2f GB moved (host: %.2f s)\n",
+                run.profile.flops * 1e-9, run.profile.mem_bytes * 1e-9,
+                run.wall_seconds);
+
+    // 2. Map the profile onto a machine from the paper's catalog.
+    const auto& machine = ga::machine::find("Zen3");
+    const ga::machine::CpuPerfModel model;
+    const auto exec = model.execute(run.profile, machine.node, 4);
+    std::printf("on %s with 4 cores: %.2f s, %.1f J\n",
+                machine.node.name.c_str(), exec.seconds, exec.joules);
+
+    // 3. Price the job under each accounting method.
+    ga::acct::JobUsage usage;
+    usage.duration_s = exec.seconds;
+    usage.energy_j = exec.joules;
+    usage.cores = 4;
+    for (const auto method :
+         {ga::acct::Method::Runtime, ga::acct::Method::Energy,
+          ga::acct::Method::Peak, ga::acct::Method::Eba, ga::acct::Method::Cba}) {
+        const auto accountant = ga::acct::make_accountant(method);
+        std::printf("  %-8s charge: %10.4f %s\n",
+                    std::string(ga::acct::to_string(method)).c_str(),
+                    accountant->charge(usage, machine),
+                    std::string(accountant->unit()).c_str());
+    }
+
+    // 4. Fungible allocation: grant a budget and spend from it.
+    ga::acct::Ledger ledger;
+    ledger.create_account("you", 10'000.0);  // 10 kgCO2e under CBA
+    const ga::acct::CarbonBasedAccounting cba;
+    const double cost = ledger.charge("you", cba, usage, machine);
+    std::printf("charged %.3f gCO2e; %.1f gCO2e remaining\n", cost,
+                ledger.remaining("you"));
+    return 0;
+}

@@ -1,0 +1,49 @@
+#include "carbon/depreciation.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ga::carbon {
+
+DepreciationSchedule::DepreciationSchedule(double total_embodied_g,
+                                           double lifetime_years)
+    : total_g_(total_embodied_g), lifetime_(lifetime_years) {
+    GA_REQUIRE(total_g_ >= 0.0, "depreciation: embodied carbon must be >= 0");
+    GA_REQUIRE(lifetime_ > 0.0, "depreciation: lifetime must be positive");
+}
+
+double DepreciationSchedule::remaining_g(double age_years,
+                                         DepreciationMethod method) const {
+    GA_REQUIRE(age_years >= 0.0, "depreciation: age must be >= 0");
+    const double y = std::floor(age_years);
+    switch (method) {
+        case DepreciationMethod::Linear: {
+            const double consumed = std::min(y / lifetime_, 1.0);
+            return total_g_ * (1.0 - consumed);
+        }
+        case DepreciationMethod::DoubleDeclining:
+            return total_g_ * std::pow(1.0 - ddb_rate(), y);
+    }
+    return 0.0;
+}
+
+double DepreciationSchedule::allocated_year_g(double age_years,
+                                              DepreciationMethod method) const {
+    GA_REQUIRE(age_years >= 0.0, "depreciation: age must be >= 0");
+    const double y = std::floor(age_years);
+    switch (method) {
+        case DepreciationMethod::Linear:
+            return y < lifetime_ ? total_g_ / lifetime_ : 0.0;
+        case DepreciationMethod::DoubleDeclining:
+            return ddb_rate() * remaining_g(age_years, method);
+    }
+    return 0.0;
+}
+
+double DepreciationSchedule::rate_g_per_hour(double age_years,
+                                             DepreciationMethod method) const {
+    return allocated_year_g(age_years, method) / ga::util::kHoursPerYear;
+}
+
+}  // namespace ga::carbon

@@ -1,0 +1,59 @@
+// Embodied-carbon depreciation schedules (paper §3.3).
+//
+// The paper treats a machine's embodied carbon like a capital expense that
+// depreciates over time, and argues for *accelerated* depreciation (double
+// declining balance, DDB): users of new machines drive procurement, so they
+// should carry more of the embodied cost. With a 5-year refresh period the
+// DDB annual rate is 2/5 = 40%:
+//
+//     R_f(y) = C_f * (1 - 0.4)^y      unaccounted carbon after y years
+//     D_f(y) = 0.4 * R_f(y)           carbon allocated to year y
+//     rate   = D_f(y) / (24*365)      gCO2e per hour of machine time
+//
+// The linear baseline (Software Carbon Intensity style, paper ref [50])
+// allocates C_f / lifetime per year while the machine is within its
+// lifetime, and nothing afterwards.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace ga::carbon {
+
+/// Which attribution method to use for embodied carbon.
+enum class DepreciationMethod {
+    Linear,           ///< constant C/lifetime per year within the lifetime
+    DoubleDeclining,  ///< the paper's accelerated schedule
+};
+
+/// A machine's embodied-carbon schedule.
+class DepreciationSchedule {
+public:
+    /// `total_embodied_g`: C_f in gCO2e. `lifetime_years` sets both the
+    /// linear horizon and the DDB rate (2 / lifetime).
+    DepreciationSchedule(double total_embodied_g, double lifetime_years = 5.0);
+
+    /// Unaccounted carbon R_f(y) after `age_years` (gCO2e). The paper's
+    /// formula steps yearly, so the age is floored to whole years.
+    [[nodiscard]] double remaining_g(double age_years,
+                                     DepreciationMethod method) const;
+
+    /// Carbon allocated to the year containing `age_years` (gCO2e/year).
+    [[nodiscard]] double allocated_year_g(double age_years,
+                                          DepreciationMethod method) const;
+
+    /// gCO2e per hour of machine use at the given age — the paper's
+    /// "Carbon Rate" columns (Tables 2 and 5).
+    [[nodiscard]] double rate_g_per_hour(double age_years,
+                                         DepreciationMethod method) const;
+
+    [[nodiscard]] double total_g() const noexcept { return total_g_; }
+    [[nodiscard]] double lifetime_years() const noexcept { return lifetime_; }
+    /// DDB annual rate (2 / lifetime; 0.4 for the paper's 5-year refresh).
+    [[nodiscard]] double ddb_rate() const noexcept { return 2.0 / lifetime_; }
+
+private:
+    double total_g_;
+    double lifetime_;
+};
+
+}  // namespace ga::carbon

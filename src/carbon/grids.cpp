@@ -1,0 +1,85 @@
+#include "carbon/grids.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ga::carbon {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Solar elevation proxy: 0 at night, 1 at local noon, sinusoidal between
+/// 06:00 and 18:00 local time.
+double solar_factor(double local_hour) {
+    double h = std::fmod(local_hour, 24.0);
+    if (h < 0) h += 24.0;
+    if (h < 6.0 || h > 18.0) return 0.0;
+    return std::sin(kPi * (h - 6.0) / 12.0);
+}
+
+/// Evening ramp proxy peaking at 19:00 local.
+double evening_factor(double local_hour) {
+    double h = std::fmod(local_hour, 24.0);
+    if (h < 0) h += 24.0;
+    const double d = (h - 19.0) / 3.0;
+    return std::exp(-d * d);
+}
+
+}  // namespace
+
+const std::vector<GridProfile>& fig7_regions() {
+    static const std::vector<GridProfile> regions = {
+        // Southern Australia: rooftop solar pushes midday intensity near zero
+        // and gas peaks the evening.
+        {"AU-SA", 190.0, 165.0, 55.0, 20.0, 12.0, 9.5, 8.0},
+        // Ontario: nuclear baseload, small gas-fired evening ramp.
+        {"CA-ON", 42.0, 6.0, 14.0, 6.0, 3.0, -5.0, 8.0},
+        // Southern Norway: hydro, essentially flat and very low.
+        {"NO-NO2", 24.0, 2.0, 3.0, 3.0, 1.5, 1.0, 5.0},
+        // Bornholm (Denmark): wind-dominated with big multi-hour swings.
+        {"DK-BHM", 130.0, 25.0, 20.0, 95.0, 18.0, 1.0, 10.0},
+    };
+    return regions;
+}
+
+const GridProfile& region(std::string_view name) {
+    for (const auto& r : fig7_regions()) {
+        if (r.name == name) return r;
+    }
+    throw ga::util::RuntimeError("grids: unknown region '" + std::string(name) + "'");
+}
+
+IntensityTrace synthesize(const GridProfile& profile, int days, std::uint64_t seed) {
+    GA_REQUIRE(days >= 1, "grids: need at least one day");
+    const int hours = days * 24;
+    std::vector<double> samples(static_cast<std::size_t>(hours));
+
+    ga::util::Rng rng = ga::util::Rng(seed).split(0x6A1D5u);
+    // AR(1) noise and a slow two-frequency "wind" process. Incommensurate
+    // periods (~31 h and ~83 h) avoid day-locked artifacts.
+    double ar = 0.0;
+    const double ar_rho = 0.85;
+    const double wind_phase1 = rng.uniform(0.0, 2.0 * kPi);
+    const double wind_phase2 = rng.uniform(0.0, 2.0 * kPi);
+
+    for (int h = 0; h < hours; ++h) {
+        const double local_hour = static_cast<double>(h) + profile.utc_offset_h;
+        double v = profile.base_g_per_kwh;
+        v -= profile.solar_depth * solar_factor(local_hour);
+        v += profile.evening_peak * evening_factor(local_hour);
+        v += profile.wind_swing *
+             (0.6 * std::sin(2.0 * kPi * h / 31.0 + wind_phase1) +
+              0.4 * std::sin(2.0 * kPi * h / 83.0 + wind_phase2));
+        ar = ar_rho * ar + rng.normal(0.0, profile.noise_sigma);
+        v += ar;
+        samples[static_cast<std::size_t>(h)] = std::max(v, profile.floor_g_per_kwh);
+    }
+    return IntensityTrace::hourly(std::move(samples), 0.0, profile.name,
+                                  /*wrap=*/true);
+}
+
+}  // namespace ga::carbon

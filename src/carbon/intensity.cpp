@@ -1,0 +1,38 @@
+#include "carbon/intensity.hpp"
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ga::carbon {
+
+IntensityTrace IntensityTrace::constant(double g_per_kwh, std::string region) {
+    GA_REQUIRE(g_per_kwh >= 0.0, "intensity: must be non-negative");
+    return IntensityTrace(
+        ga::util::TimeSeries(0.0, ga::util::kSecondsPerHour, {g_per_kwh},
+                             ga::util::Interpolation::Step, true),
+        std::move(region));
+}
+
+IntensityTrace IntensityTrace::hourly(std::vector<double> samples, double t0_seconds,
+                                      std::string region, bool wrap) {
+    GA_REQUIRE(!samples.empty(), "intensity: need at least one sample");
+    return IntensityTrace(
+        ga::util::TimeSeries(t0_seconds, ga::util::kSecondsPerHour,
+                             std::move(samples), ga::util::Interpolation::Step,
+                             wrap),
+        std::move(region));
+}
+
+double IntensityTrace::operational_g(double joules, double t_start) const {
+    GA_REQUIRE(joules >= 0.0, "intensity: energy must be non-negative");
+    return ga::util::joules_to_kwh(joules) * at(t_start);
+}
+
+double IntensityTrace::operational_integrated_g(double joules, double t_start,
+                                                double t_end) const {
+    GA_REQUIRE(joules >= 0.0, "intensity: energy must be non-negative");
+    GA_REQUIRE(t_end > t_start, "intensity: window must be non-empty");
+    return ga::util::joules_to_kwh(joules) * mean(t_start, t_end);
+}
+
+}  // namespace ga::carbon

@@ -1,0 +1,59 @@
+// Grid carbon-intensity series (gCO2e/kWh over time).
+//
+// CBA's operational term multiplies a job's energy by the grid intensity at
+// the facility at job start (paper Eq. 2). Facilities obtain these series
+// from grid operators or public APIs (Electricity Maps); we represent them
+// as hourly time series and synthesize realistic regional profiles in
+// grids.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/time_series.hpp"
+
+namespace ga::carbon {
+
+/// An hourly carbon-intensity trace for one facility/region.
+class IntensityTrace {
+public:
+    /// Constant intensity (e.g. a yearly average, as Tables 1–5 use).
+    static IntensityTrace constant(double g_per_kwh, std::string region = "avg");
+
+    /// Hourly samples starting at absolute time t0 (seconds). `wrap` makes
+    /// the series periodic (a "typical day/year" profile).
+    static IntensityTrace hourly(std::vector<double> samples, double t0_seconds,
+                                 std::string region, bool wrap = false);
+
+    /// Intensity at an absolute time (gCO2e/kWh).
+    [[nodiscard]] double at(double t_seconds) const { return series_.at(t_seconds); }
+
+    /// Mean intensity over a window.
+    [[nodiscard]] double mean(double t_begin, double t_end) const {
+        return series_.mean(t_begin, t_end);
+    }
+
+    /// Operational carbon (gCO2e) for a job: energy (J) times the intensity
+    /// at job start — exactly the paper's e_j * I_f(t) term.
+    [[nodiscard]] double operational_g(double joules, double t_start) const;
+
+    /// Time-integrated variant for long jobs: average intensity over the
+    /// job's span instead of the start sample (ablation; not the paper's
+    /// definition).
+    [[nodiscard]] double operational_integrated_g(double joules, double t_start,
+                                                  double t_end) const;
+
+    [[nodiscard]] const std::string& region() const noexcept { return region_; }
+    [[nodiscard]] const ga::util::TimeSeries& series() const noexcept {
+        return series_;
+    }
+
+private:
+    IntensityTrace(ga::util::TimeSeries series, std::string region)
+        : series_(std::move(series)), region_(std::move(region)) {}
+
+    ga::util::TimeSeries series_;
+    std::string region_;
+};
+
+}  // namespace ga::carbon

@@ -1,0 +1,42 @@
+#include "carbon/rates.hpp"
+
+#include "util/error.hpp"
+
+namespace ga::carbon {
+
+double node_rate_g_per_hour_at(const ga::machine::CatalogEntry& entry,
+                               double age_years, DepreciationMethod method) {
+    const DepreciationSchedule schedule(entry.embodied().total_g());
+    return schedule.rate_g_per_hour(age_years, method);
+}
+
+double node_rate_g_per_hour(const ga::machine::CatalogEntry& entry,
+                            DepreciationMethod method) {
+    return node_rate_g_per_hour_at(entry, entry.age_years(), method);
+}
+
+double per_core_rate_g_per_hour(const ga::machine::CatalogEntry& entry,
+                                DepreciationMethod method) {
+    return node_rate_g_per_hour(entry, method) /
+           static_cast<double>(entry.node.total_cores());
+}
+
+double gpu_job_rate_g_per_hour(const ga::machine::CatalogEntry& entry, int n_gpus,
+                               DepreciationMethod method) {
+    GA_REQUIRE(entry.node.gpu_count > 0, "carbon: machine has no GPUs");
+    GA_REQUIRE(n_gpus >= 1 && n_gpus <= entry.node.gpu_count,
+               "carbon: GPU count out of range");
+    const auto breakdown = entry.embodied();
+    // The job occupies the host (a GPU job cannot share the node with other
+    // accounting domains in green-ACCESS) plus its n GPUs.
+    const double host_g =
+        (breakdown.platform_kg + breakdown.cpu_kg + breakdown.dram_kg +
+         breakdown.ssd_kg) *
+        1000.0;
+    const double per_gpu_g = entry.node.gpu.embodied_kg * 1000.0;
+    const DepreciationSchedule schedule(host_g +
+                                        per_gpu_g * static_cast<double>(n_gpus));
+    return schedule.rate_g_per_hour(entry.age_years(), method);
+}
+
+}  // namespace ga::carbon

@@ -1,0 +1,34 @@
+// Machine-level carbon rates: ties the SCARIF-like embodied estimates to the
+// depreciation schedules, producing the "Carbon Rate (gCO2e/h)" columns of
+// Tables 2 and 5.
+#pragma once
+
+#include "carbon/depreciation.hpp"
+#include "machine/catalog.hpp"
+
+namespace ga::carbon {
+
+/// Embodied-carbon rate (gCO2e/h) for the whole node at its reference age.
+[[nodiscard]] double node_rate_g_per_hour(
+    const ga::machine::CatalogEntry& entry,
+    DepreciationMethod method = DepreciationMethod::DoubleDeclining);
+
+/// Same, but at an explicit age (years since deployment).
+[[nodiscard]] double node_rate_g_per_hour_at(
+    const ga::machine::CatalogEntry& entry, double age_years,
+    DepreciationMethod method);
+
+/// Per-core embodied rate: CPU jobs are provisioned by core, so a job
+/// holding k cores is charged k * this rate per hour.
+[[nodiscard]] double per_core_rate_g_per_hour(
+    const ga::machine::CatalogEntry& entry,
+    DepreciationMethod method = DepreciationMethod::DoubleDeclining);
+
+/// Embodied rate for a GPU job using `n_gpus` of a GPU host: the host share
+/// (platform + CPUs + DRAM + SSD) plus n_gpus device shares, depreciated at
+/// the node's reference age. Reproduces Table 2's per-#GPU carbon rates.
+[[nodiscard]] double gpu_job_rate_g_per_hour(
+    const ga::machine::CatalogEntry& entry, int n_gpus,
+    DepreciationMethod method = DepreciationMethod::DoubleDeclining);
+
+}  // namespace ga::carbon

@@ -1,0 +1,134 @@
+#include "core/accounting.hpp"
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ga::acct {
+
+namespace {
+
+void validate(const JobUsage& usage, const ga::machine::CatalogEntry& m) {
+    GA_REQUIRE(usage.duration_s >= 0.0, "accounting: negative duration");
+    GA_REQUIRE(usage.energy_j >= 0.0, "accounting: negative energy");
+    GA_REQUIRE(usage.cores >= 0, "accounting: negative core count");
+    GA_REQUIRE(usage.gpus >= 0, "accounting: negative gpu count");
+    GA_REQUIRE(usage.cores > 0 || usage.gpus > 0,
+               "accounting: job must hold cores or gpus");
+    if (usage.gpus > 0) {
+        GA_REQUIRE(usage.gpus <= m.node.gpu_count,
+                   "accounting: job gpus exceed machine gpus");
+    }
+    // Note: usage.cores may exceed one node's core count — cluster jobs span
+    // multiple nodes of the same machine type; per-core rates still apply.
+}
+
+}  // namespace
+
+std::string_view to_string(Method m) noexcept {
+    switch (m) {
+        case Method::Runtime: return "Runtime";
+        case Method::Energy: return "Energy";
+        case Method::Peak: return "Peak";
+        case Method::Eba: return "EBA";
+        case Method::Cba: return "CBA";
+    }
+    return "unknown";
+}
+
+double RuntimeAccounting::charge(const JobUsage& usage,
+                                 const ga::machine::CatalogEntry& m) const {
+    validate(usage, m);
+    const double units = usage.gpus > 0 ? static_cast<double>(usage.gpus)
+                                        : static_cast<double>(usage.cores);
+    return ga::util::core_hours(units, usage.duration_s);
+}
+
+double EnergyAccounting::charge(const JobUsage& usage,
+                                const ga::machine::CatalogEntry& m) const {
+    validate(usage, m);
+    return usage.energy_j;
+}
+
+double PeakAccounting::charge(const JobUsage& usage,
+                              const ga::machine::CatalogEntry& m) const {
+    validate(usage, m);
+    if (usage.gpus > 0) {
+        // GPU service units: device-hours weighted by reported GFlop/s
+        // (scaled to keep magnitudes printable).
+        return ga::util::core_hours(static_cast<double>(usage.gpus),
+                                    usage.duration_s) *
+               m.node.gpu.gflops / 1000.0;
+    }
+    return ga::util::core_hours(static_cast<double>(usage.cores), usage.duration_s) *
+           m.node.cpu.peak_score_per_thread / 1000.0;
+}
+
+EnergyBasedAccounting::EnergyBasedAccounting(double beta, bool apply_pue)
+    : beta_(beta), apply_pue_(apply_pue) {
+    GA_REQUIRE(beta > 0.0 && beta <= 1.0, "EBA: beta must be in (0, 1]");
+}
+
+double EnergyBasedAccounting::provisioned_tdp_w(const JobUsage& usage,
+                                                const ga::machine::CatalogEntry& m) {
+    if (usage.gpus > 0) {
+        return static_cast<double>(usage.gpus) * m.node.gpu.tdp_w;
+    }
+    return static_cast<double>(usage.cores) * m.node.tdp_per_core_w();
+}
+
+double EnergyBasedAccounting::charge(const JobUsage& usage,
+                                     const ga::machine::CatalogEntry& m) const {
+    validate(usage, m);
+    const double pue = apply_pue_ ? m.pue : 1.0;
+    const double potential_j =
+        usage.duration_s * provisioned_tdp_w(usage, m);  // d_j * TDP_R
+    return (pue * usage.energy_j + beta_ * potential_j) / 2.0;
+}
+
+CarbonBasedAccounting::CarbonBasedAccounting(
+    std::map<std::string, ga::carbon::IntensityTrace> intensity,
+    ga::carbon::DepreciationMethod depreciation)
+    : intensity_(std::move(intensity)), depreciation_(depreciation) {}
+
+double CarbonBasedAccounting::intensity_at(const ga::machine::CatalogEntry& m,
+                                           double t_seconds) const {
+    const auto it = intensity_.find(m.node.name);
+    if (it != intensity_.end()) return it->second.at(t_seconds);
+    return m.avg_carbon_intensity;
+}
+
+double CarbonBasedAccounting::operational_g(const JobUsage& usage,
+                                            const ga::machine::CatalogEntry& m) const {
+    return ga::util::joules_to_kwh(usage.energy_j) *
+           intensity_at(m, usage.submit_time_s);
+}
+
+double CarbonBasedAccounting::embodied_g(const JobUsage& usage,
+                                         const ga::machine::CatalogEntry& m) const {
+    const double hours = ga::util::seconds_to_hours(usage.duration_s);
+    if (usage.gpus > 0) {
+        return hours *
+               ga::carbon::gpu_job_rate_g_per_hour(m, usage.gpus, depreciation_);
+    }
+    return hours * static_cast<double>(usage.cores) *
+           ga::carbon::per_core_rate_g_per_hour(m, depreciation_);
+}
+
+double CarbonBasedAccounting::charge(const JobUsage& usage,
+                                     const ga::machine::CatalogEntry& m) const {
+    validate(usage, m);
+    return operational_g(usage, m) + embodied_g(usage, m);
+}
+
+std::unique_ptr<Accountant> make_accountant(Method m) {
+    switch (m) {
+        case Method::Runtime: return std::make_unique<RuntimeAccounting>();
+        case Method::Energy: return std::make_unique<EnergyAccounting>();
+        case Method::Peak: return std::make_unique<PeakAccounting>();
+        case Method::Eba: return std::make_unique<EnergyBasedAccounting>();
+        case Method::Cba: return std::make_unique<CarbonBasedAccounting>();
+    }
+    throw ga::util::PreconditionError("make_accountant: unknown method");
+}
+
+}  // namespace ga::acct

@@ -1,0 +1,155 @@
+// Impact-based accounting (the paper's core contribution, §3–§4.2).
+//
+// Five accounting methods price a job's resource usage:
+//
+//   Runtime — core-time only (Chameleon-style). Ignores heterogeneity.
+//   Energy  — raw energy used. Rewards idling on allocated hardware.
+//   Peak    — core-time weighted by machine peak performance (ACCESS-style
+//             service units). Indirectly incentivizes energy-hungry nodes.
+//   EBA     — Energy-Based Accounting, Eq. 1:
+//                ê_j = (e_j + β · d_j · TDP_R) / 2
+//             the average of actual energy and full-TDP potential energy
+//             (β = 1 in the paper; the β < 1 refinement is implemented).
+//   CBA     — Carbon-Based Accounting, Eq. 2:
+//                c_j = e_j · I_f(t) + d_j · D_f(y)/(24·365)
+//             operational carbon at the facility's grid intensity plus
+//             DDB-depreciated embodied carbon.
+//
+// CPU jobs are provisioned by core (green-ACCESS disaggregates node power to
+// cores), so the TDP and embodied terms scale with the job's core count.
+// GPU jobs are provisioned by whole device.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "carbon/intensity.hpp"
+#include "carbon/rates.hpp"
+#include "machine/catalog.hpp"
+
+namespace ga::acct {
+
+/// The resources one finished (or predicted) execution consumed.
+struct JobUsage {
+    double duration_s = 0.0;   ///< wall-clock duration
+    double energy_j = 0.0;     ///< task-attributed energy (CPU+GPU)
+    int cores = 1;             ///< provisioned cores (CPU jobs)
+    int gpus = 0;              ///< provisioned GPUs (0 for CPU jobs)
+    double submit_time_s = 0.0;///< absolute time, for carbon-intensity lookup
+};
+
+/// Accounting method identifiers (paper §4.2 naming).
+enum class Method { Runtime, Energy, Peak, Eba, Cba };
+
+[[nodiscard]] std::string_view to_string(Method m) noexcept;
+
+/// Interface: price one job on one machine. Charges are in method-specific
+/// units (core-hours, joules, SU-like peak units, EBA joules, gCO2e).
+class Accountant {
+public:
+    virtual ~Accountant() = default;
+
+    [[nodiscard]] virtual double charge(const JobUsage& usage,
+                                        const ga::machine::CatalogEntry& m) const = 0;
+    [[nodiscard]] virtual Method method() const noexcept = 0;
+    [[nodiscard]] virtual std::string_view unit() const noexcept = 0;
+};
+
+/// Runtime accounting: core-hours (GPU jobs: GPU-hours).
+class RuntimeAccounting final : public Accountant {
+public:
+    [[nodiscard]] double charge(const JobUsage& usage,
+                                const ga::machine::CatalogEntry& m) const override;
+    [[nodiscard]] Method method() const noexcept override { return Method::Runtime; }
+    [[nodiscard]] std::string_view unit() const noexcept override {
+        return "core-hours";
+    }
+};
+
+/// Energy accounting: joules used, no capacity term.
+class EnergyAccounting final : public Accountant {
+public:
+    [[nodiscard]] double charge(const JobUsage& usage,
+                                const ga::machine::CatalogEntry& m) const override;
+    [[nodiscard]] Method method() const noexcept override { return Method::Energy; }
+    [[nodiscard]] std::string_view unit() const noexcept override { return "J"; }
+};
+
+/// Peak accounting: core-time × peak performance rating (ACCESS-style).
+/// For GPU jobs the rating is the device's manufacturer GFlop/s.
+class PeakAccounting final : public Accountant {
+public:
+    [[nodiscard]] double charge(const JobUsage& usage,
+                                const ga::machine::CatalogEntry& m) const override;
+    [[nodiscard]] Method method() const noexcept override { return Method::Peak; }
+    [[nodiscard]] std::string_view unit() const noexcept override {
+        return "peak-units";
+    }
+};
+
+/// Energy-Based Accounting (Eq. 1).
+class EnergyBasedAccounting final : public Accountant {
+public:
+    /// `beta` weights the potential-use (TDP) term; the paper uses 1.0.
+    /// `apply_pue` multiplies measured energy by the facility's PUE (§3.2's
+    /// cooling/overhead refinement; off by default, as in the paper).
+    explicit EnergyBasedAccounting(double beta = 1.0, bool apply_pue = false);
+
+    [[nodiscard]] double charge(const JobUsage& usage,
+                                const ga::machine::CatalogEntry& m) const override;
+    [[nodiscard]] Method method() const noexcept override { return Method::Eba; }
+    [[nodiscard]] std::string_view unit() const noexcept override { return "J-eq"; }
+
+    /// The TDP attributed to the job's provisioned share of the machine.
+    [[nodiscard]] static double provisioned_tdp_w(
+        const JobUsage& usage, const ga::machine::CatalogEntry& m);
+
+    [[nodiscard]] double beta() const noexcept { return beta_; }
+    [[nodiscard]] bool applies_pue() const noexcept { return apply_pue_; }
+
+private:
+    double beta_;
+    bool apply_pue_;
+};
+
+/// Carbon-Based Accounting (Eq. 2).
+class CarbonBasedAccounting final : public Accountant {
+public:
+    /// `intensity` maps machine name -> facility grid trace. Machines not in
+    /// the map fall back to their catalog yearly-average intensity.
+    CarbonBasedAccounting(
+        std::map<std::string, ga::carbon::IntensityTrace> intensity = {},
+        ga::carbon::DepreciationMethod depreciation =
+            ga::carbon::DepreciationMethod::DoubleDeclining);
+
+    [[nodiscard]] double charge(const JobUsage& usage,
+                                const ga::machine::CatalogEntry& m) const override;
+    [[nodiscard]] Method method() const noexcept override { return Method::Cba; }
+    [[nodiscard]] std::string_view unit() const noexcept override { return "gCO2e"; }
+
+    /// Operational term only (e_j · I_f(t)).
+    [[nodiscard]] double operational_g(const JobUsage& usage,
+                                       const ga::machine::CatalogEntry& m) const;
+
+    /// Embodied term only (d_j · provisioned share of D_f(y)/(24·365)).
+    [[nodiscard]] double embodied_g(const JobUsage& usage,
+                                    const ga::machine::CatalogEntry& m) const;
+
+    [[nodiscard]] double intensity_at(const ga::machine::CatalogEntry& m,
+                                      double t_seconds) const;
+
+    [[nodiscard]] ga::carbon::DepreciationMethod depreciation() const noexcept {
+        return depreciation_;
+    }
+
+private:
+    std::map<std::string, ga::carbon::IntensityTrace> intensity_;
+    ga::carbon::DepreciationMethod depreciation_;
+};
+
+/// Factory covering the five methods with default parameters.
+[[nodiscard]] std::unique_ptr<Accountant> make_accountant(Method m);
+
+}  // namespace ga::acct

@@ -1,0 +1,88 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ga::acct {
+
+Allocation::Allocation(double budget) : budget_(budget) {
+    GA_REQUIRE(budget > 0.0, "allocation: budget must be positive");
+}
+
+bool Allocation::charge(double cost) {
+    GA_REQUIRE(cost >= 0.0, "allocation: cost must be non-negative");
+    if (!can_afford(cost)) return false;
+    spent_ += cost;
+    return true;
+}
+
+void Allocation::grant(double extra) {
+    GA_REQUIRE(extra >= 0.0, "allocation: grant must be non-negative");
+    budget_ += extra;
+}
+
+void Ledger::create_account(const std::string& user, double budget) {
+    if (Account* existing = find_account(user)) {
+        existing->allocation = Allocation(budget);
+        return;
+    }
+    accounts_.push_back(Account{user, Allocation(budget)});
+}
+
+bool Ledger::has_account(const std::string& user) const {
+    return find_account(user) != nullptr;
+}
+
+Ledger::Account* Ledger::find_account(const std::string& user) {
+    const auto it = std::find_if(accounts_.begin(), accounts_.end(),
+                                 [&user](const Account& a) { return a.user == user; });
+    return it == accounts_.end() ? nullptr : &*it;
+}
+
+const Ledger::Account* Ledger::find_account(const std::string& user) const {
+    const auto it = std::find_if(accounts_.begin(), accounts_.end(),
+                                 [&user](const Account& a) { return a.user == user; });
+    return it == accounts_.end() ? nullptr : &*it;
+}
+
+double Ledger::remaining(const std::string& user) const {
+    const Account* a = find_account(user);
+    if (a == nullptr) throw ga::util::RuntimeError("ledger: unknown user " + user);
+    return a->allocation.remaining();
+}
+
+double Ledger::spent(const std::string& user) const {
+    const Account* a = find_account(user);
+    if (a == nullptr) throw ga::util::RuntimeError("ledger: unknown user " + user);
+    return a->allocation.spent();
+}
+
+double Ledger::charge(const std::string& user, const Accountant& accountant,
+                      const JobUsage& usage, const ga::machine::CatalogEntry& m) {
+    Account* a = find_account(user);
+    if (a == nullptr) throw ga::util::RuntimeError("ledger: unknown user " + user);
+    const double cost = accountant.charge(usage, m);
+    if (!a->allocation.charge(cost)) return -1.0;
+    Transaction t;
+    t.id = next_id_++;
+    t.user = user;
+    t.machine = m.node.name;
+    t.method = accountant.method();
+    t.cost = cost;
+    t.duration_s = usage.duration_s;
+    t.energy_j = usage.energy_j;
+    t.submit_time_s = usage.submit_time_s;
+    history_.push_back(std::move(t));
+    return cost;
+}
+
+double Ledger::total_cost(const std::string& user) const {
+    double total = 0.0;
+    for (const auto& t : history_) {
+        if (t.user == user) total += t.cost;
+    }
+    return total;
+}
+
+}  // namespace ga::acct

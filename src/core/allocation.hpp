@@ -1,0 +1,93 @@
+// Fungible allocations and the accounting ledger (paper §3.1).
+//
+// An Allocation is a budget in the units of one accounting method (e.g.
+// 10 kgCO2e under CBA, or N core-hours under Runtime) that can be redeemed
+// on any machine the accountant can price. The Ledger tracks per-user
+// allocations and the transaction history the green-ACCESS frontend shows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/accounting.hpp"
+
+namespace ga::acct {
+
+/// One spend record.
+struct Transaction {
+    std::uint64_t id = 0;
+    std::string user;
+    std::string machine;
+    Method method = Method::Runtime;
+    double cost = 0.0;
+    double duration_s = 0.0;
+    double energy_j = 0.0;
+    double submit_time_s = 0.0;
+};
+
+/// A single budget with overdraft protection.
+class Allocation {
+public:
+    /// Grants `budget` units; must be positive.
+    explicit Allocation(double budget);
+
+    [[nodiscard]] double budget() const noexcept { return budget_; }
+    [[nodiscard]] double spent() const noexcept { return spent_; }
+    [[nodiscard]] double remaining() const noexcept { return budget_ - spent_; }
+    [[nodiscard]] bool can_afford(double cost) const noexcept {
+        return cost <= remaining();
+    }
+
+    /// Deducts `cost`; returns false (and charges nothing) when the budget
+    /// cannot cover it. Negative costs are rejected.
+    [[nodiscard]] bool charge(double cost);
+
+    /// Adds budget (e.g. a supplement award).
+    void grant(double extra);
+
+private:
+    double budget_;
+    double spent_ = 0.0;
+};
+
+/// Per-user allocations plus an audit trail.
+class Ledger {
+public:
+    /// Creates an account; replaces any existing allocation for the user.
+    void create_account(const std::string& user, double budget);
+
+    [[nodiscard]] bool has_account(const std::string& user) const;
+
+    /// Remaining budget; throws RuntimeError for unknown users.
+    [[nodiscard]] double remaining(const std::string& user) const;
+    [[nodiscard]] double spent(const std::string& user) const;
+
+    /// Prices the job with `accountant` on `m` and charges the user's
+    /// allocation. Returns the cost on success; returns -1.0 when the user
+    /// cannot afford it (nothing is charged). Throws for unknown users.
+    double charge(const std::string& user, const Accountant& accountant,
+                  const JobUsage& usage, const ga::machine::CatalogEntry& m);
+
+    [[nodiscard]] const std::vector<Transaction>& history() const noexcept {
+        return history_;
+    }
+
+    /// Sum of recorded costs for one user.
+    [[nodiscard]] double total_cost(const std::string& user) const;
+
+private:
+    struct Account {
+        std::string user;
+        Allocation allocation;
+    };
+
+    [[nodiscard]] Account* find_account(const std::string& user);
+    [[nodiscard]] const Account* find_account(const std::string& user) const;
+
+    std::vector<Account> accounts_;
+    std::vector<Transaction> history_;
+    std::uint64_t next_id_ = 1;
+};
+
+}  // namespace ga::acct

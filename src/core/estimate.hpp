@@ -1,0 +1,47 @@
+// Pre-execution cost estimation (the green-ACCESS "prediction endpoint").
+//
+// Users ask "what would this computation cost on each machine I can use?"
+// before submitting. The estimator runs the CPU execution model over a work
+// profile and prices the predicted usage with any accounting method.
+#pragma once
+
+#include <vector>
+
+#include "core/accounting.hpp"
+#include "machine/perf.hpp"
+
+namespace ga::acct {
+
+/// Predicted execution + cost on one machine.
+struct CostEstimate {
+    std::string machine;
+    double seconds = 0.0;
+    double energy_j = 0.0;
+    double cost = 0.0;
+};
+
+/// Estimates cost of a work profile across machines.
+class CostEstimator {
+public:
+    explicit CostEstimator(ga::machine::CpuPerfModel model =
+                               ga::machine::CpuPerfModel()) noexcept
+        : model_(model) {}
+
+    /// Predicts usage of `profile` on `m` with `cores` cores at `submit_time`
+    /// and prices it with `accountant`.
+    [[nodiscard]] CostEstimate estimate(const ga::machine::WorkProfile& profile,
+                                        const ga::machine::CatalogEntry& m,
+                                        int cores, const Accountant& accountant,
+                                        double submit_time_s = 0.0) const;
+
+    /// Ranks a set of machines by estimated cost (cheapest first).
+    [[nodiscard]] std::vector<CostEstimate> rank(
+        const ga::machine::WorkProfile& profile,
+        const std::vector<ga::machine::CatalogEntry>& machines, int cores,
+        const Accountant& accountant, double submit_time_s = 0.0) const;
+
+private:
+    ga::machine::CpuPerfModel model_;
+};
+
+}  // namespace ga::acct

@@ -1,0 +1,86 @@
+// In-memory Kafka-like message broker.
+//
+// green-ACCESS ships endpoint telemetry through a cloud-hosted Kafka to the
+// platform's streaming monitor (paper Fig. 3 / §4.1). This broker recreates
+// the parts that the pipeline depends on: named topics with ordered
+// partitioned logs, producer appends, and consumer groups with per-partition
+// committed offsets. It is thread-safe so endpoints and monitors can run on
+// separate threads, though the reference pipeline drives it single-threaded
+// in virtual time for determinism.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ga::faas {
+
+/// One log entry.
+struct Message {
+    std::uint64_t offset = 0;
+    std::string key;
+    std::string value;
+};
+
+/// Broker with topics, partitions, and consumer-group offsets.
+class Broker {
+public:
+    /// Creates a topic with `partitions` >= 1 partitions. Creating an
+    /// existing topic is an error.
+    void create_topic(const std::string& topic, std::size_t partitions = 1);
+
+    [[nodiscard]] bool has_topic(const std::string& topic) const;
+    [[nodiscard]] std::size_t partition_count(const std::string& topic) const;
+
+    /// Appends a message; the partition is chosen by key hash (stable).
+    /// Returns the assigned (partition, offset).
+    std::pair<std::size_t, std::uint64_t> produce(const std::string& topic,
+                                                  std::string key,
+                                                  std::string value);
+
+    /// Appends to an explicit partition.
+    std::uint64_t produce_to(const std::string& topic, std::size_t partition,
+                             std::string key, std::string value);
+
+    /// Number of messages in a partition.
+    [[nodiscard]] std::uint64_t end_offset(const std::string& topic,
+                                           std::size_t partition) const;
+
+    /// Reads up to `max_messages` from the consumer group's current offset
+    /// and advances the offset (at-least-once semantics with auto-commit).
+    [[nodiscard]] std::vector<Message> consume(const std::string& group,
+                                               const std::string& topic,
+                                               std::size_t partition,
+                                               std::size_t max_messages);
+
+    /// Committed offset of a group (0 when never consumed).
+    [[nodiscard]] std::uint64_t committed(const std::string& group,
+                                          const std::string& topic,
+                                          std::size_t partition) const;
+
+    /// Rewinds a group to an absolute offset (replay support).
+    void seek(const std::string& group, const std::string& topic,
+              std::size_t partition, std::uint64_t offset);
+
+private:
+    struct Partition {
+        std::vector<Message> log;
+    };
+    struct Topic {
+        std::vector<Partition> partitions;
+    };
+
+    [[nodiscard]] const Topic& topic_ref(const std::string& topic) const;
+    [[nodiscard]] Topic& topic_ref(const std::string& topic);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Topic> topics_;
+    // (group, topic, partition) -> next offset to read
+    std::map<std::tuple<std::string, std::string, std::size_t>, std::uint64_t>
+        offsets_;
+};
+
+}  // namespace ga::faas

@@ -1,0 +1,96 @@
+#include "faas/endpoint.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ga::faas {
+
+Endpoint::Endpoint(ga::machine::CatalogEntry entry, Broker* broker,
+                   double sample_interval_s, double noise_w, std::uint64_t seed)
+    : entry_(std::move(entry)),
+      broker_(broker),
+      interval_(sample_interval_s),
+      noise_w_(noise_w),
+      rng_(seed) {
+    GA_REQUIRE(broker_ != nullptr, "endpoint: broker required");
+    GA_REQUIRE(interval_ > 0.0, "endpoint: sample interval must be positive");
+    GA_REQUIRE(noise_w_ >= 0.0, "endpoint: noise must be non-negative");
+    if (!broker_->has_topic(kPowerTopic)) broker_->create_topic(kPowerTopic, 4);
+    if (!broker_->has_topic(kCounterTopic)) broker_->create_topic(kCounterTopic, 4);
+    next_sample_ = interval_;
+}
+
+int Endpoint::cores_busy_at(double t_s) const noexcept {
+    int busy = 0;
+    for (const auto& t : tasks_) {
+        if (t.exec.start_s <= t_s && t_s < t.exec.end_s) busy += t.exec.cores;
+    }
+    return busy;
+}
+
+Execution Endpoint::execute(const ga::machine::WorkProfile& profile, int cores,
+                            double start_s) {
+    GA_REQUIRE(start_s >= clock_, "endpoint: cannot schedule in the past");
+    GA_REQUIRE(cores >= 1 && cores <= entry_.node.total_cores(),
+               "endpoint: core request out of range");
+    GA_REQUIRE(cores_busy_at(start_s) + cores <= entry_.node.total_cores(),
+               "endpoint: node over-committed");
+
+    const auto est = model_.execute(profile, entry_.node, cores);
+    ActiveTask task;
+    task.exec.task_id = next_task_id_++;
+    task.exec.start_s = start_s;
+    task.exec.end_s = start_s + est.seconds;
+    task.exec.cores = cores;
+    task.exec.model_joules = est.joules;
+    task.watts = est.avg_watts;
+    // Per-task counter rates: same instruction/LLC proxies the cross-platform
+    // predictor uses, expressed as whole-task rates.
+    task.gips = (profile.flops + profile.mem_bytes / 8.0) / est.seconds / 1e9;
+    task.llc_mps = profile.mem_bytes / 64.0 / est.seconds / 1e6;
+    tasks_.push_back(task);
+    return task.exec;
+}
+
+void Endpoint::flush_until(double t_s) {
+    GA_REQUIRE(t_s >= clock_, "endpoint: clock cannot run backwards");
+    while (next_sample_ <= t_s) {
+        const double t = next_sample_;
+        // Integrate energy over the elapsed interval and sample power at t.
+        double watts = entry_.node.idle_w();
+        for (const auto& task : tasks_) {
+            const double overlap =
+                std::max(0.0, std::min(t, task.exec.end_s) -
+                                  std::max(t - interval_, task.exec.start_s));
+            watts += task.watts * overlap / interval_;
+        }
+        rapl_.advance(watts * interval_);
+        const double measured =
+            std::max(0.0, watts + rng_.normal(0.0, noise_w_));
+        broker_->produce(kPowerTopic, entry_.node.name,
+                         encode(PowerSample{entry_.node.name, t, measured}));
+        for (const auto& task : tasks_) {
+            const double overlap =
+                std::max(0.0, std::min(t, task.exec.end_s) -
+                                  std::max(t - interval_, task.exec.start_s));
+            if (overlap <= 0.0) continue;
+            CounterSample cs;
+            cs.endpoint = entry_.node.name;
+            cs.t_seconds = t;
+            cs.task_id = task.exec.task_id;
+            cs.gips = task.gips * overlap / interval_;
+            cs.llc_mps = task.llc_mps * overlap / interval_;
+            cs.cores = task.exec.cores;
+            broker_->produce(kCounterTopic, entry_.node.name, encode(cs));
+        }
+        next_sample_ += interval_;
+    }
+    clock_ = t_s;
+    // Drop tasks that have fully ended and been covered by samples.
+    std::erase_if(tasks_, [this](const ActiveTask& task) {
+        return task.exec.end_s + interval_ < next_sample_;
+    });
+}
+
+}  // namespace ga::faas

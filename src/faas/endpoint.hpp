@@ -1,0 +1,84 @@
+// Globus-Compute-like endpoint with an attached telemetry monitor probe
+// (paper Fig. 3, component 2).
+//
+// "Registering a machine with green-ACCESS requires deploying a Globus
+// Compute Endpoint equipped with a monitor that polls data from the RAPL
+// interface, reads hardware counters, and communicates those data back."
+//
+// The endpoint executes function invocations on its (simulated) node in
+// virtual time, maintains a RAPL register driven by the node power model,
+// and publishes power + per-task counter samples to the broker at a fixed
+// interval.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faas/broker.hpp"
+#include "faas/rapl.hpp"
+#include "faas/telemetry.hpp"
+#include "machine/catalog.hpp"
+#include "machine/perf.hpp"
+#include "util/rng.hpp"
+
+namespace ga::faas {
+
+/// One accepted invocation's execution record.
+struct Execution {
+    std::uint64_t task_id = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    int cores = 1;
+    double model_joules = 0.0;  ///< ground-truth active energy (for tests)
+
+    [[nodiscard]] double seconds() const noexcept { return end_s - start_s; }
+};
+
+class Endpoint {
+public:
+    /// `sample_interval_s` is the telemetry period; `noise_w` the RAPL
+    /// measurement noise standard deviation.
+    Endpoint(ga::machine::CatalogEntry entry, Broker* broker,
+             double sample_interval_s = 1.0, double noise_w = 0.5,
+             std::uint64_t seed = 99);
+
+    /// Schedules an invocation of `profile` on `cores` cores starting at
+    /// virtual time `start_s` (>= the last flushed time). Concurrent tasks
+    /// are allowed up to the node's core count.
+    Execution execute(const ga::machine::WorkProfile& profile, int cores,
+                      double start_s);
+
+    /// Emits telemetry samples for all ticks up to `t_s` and advances the
+    /// endpoint clock.
+    void flush_until(double t_s);
+
+    [[nodiscard]] const ga::machine::CatalogEntry& machine() const noexcept {
+        return entry_;
+    }
+    [[nodiscard]] double clock_s() const noexcept { return clock_; }
+    [[nodiscard]] const RaplCounter& rapl() const noexcept { return rapl_; }
+    /// Cores currently provisioned at time t.
+    [[nodiscard]] int cores_busy_at(double t_s) const noexcept;
+
+private:
+    struct ActiveTask {
+        Execution exec;
+        double watts = 0.0;    ///< active draw while running
+        double gips = 0.0;     ///< task counter rates
+        double llc_mps = 0.0;
+    };
+
+    ga::machine::CatalogEntry entry_;
+    Broker* broker_;
+    double interval_;
+    double noise_w_;
+    ga::util::Rng rng_;
+    ga::machine::CpuPerfModel model_;
+    double clock_ = 0.0;
+    double next_sample_ = 0.0;
+    std::uint64_t next_task_id_ = 1;
+    std::vector<ActiveTask> tasks_;  ///< includes finished-but-unflushed tasks
+    RaplCounter rapl_;
+};
+
+}  // namespace ga::faas

@@ -1,0 +1,117 @@
+#include "faas/monitor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ga::faas {
+
+EndpointMonitor::EndpointMonitor(Broker* broker, std::string group,
+                                 std::size_t refit_every)
+    : broker_(broker), group_(std::move(group)), refit_every_(refit_every) {
+    GA_REQUIRE(broker_ != nullptr, "monitor: broker required");
+    GA_REQUIRE(refit_every_ >= 4, "monitor: refit cadence too small to fit");
+}
+
+void EndpointMonitor::poll() {
+    if (!broker_->has_topic(kPowerTopic) || !broker_->has_topic(kCounterTopic)) {
+        return;  // no endpoint has produced yet
+    }
+
+    // Counters first so power samples can be aligned with them immediately.
+    for (std::size_t p = 0; p < broker_->partition_count(kCounterTopic); ++p) {
+        for (const auto& msg : broker_->consume(group_, kCounterTopic, p, 100000)) {
+            const CounterSample cs = decode_counters(msg.value);
+            endpoints_[cs.endpoint].pending_counters[cs.t_seconds].push_back(cs);
+        }
+    }
+    for (std::size_t p = 0; p < broker_->partition_count(kPowerTopic); ++p) {
+        for (const auto& msg : broker_->consume(group_, kPowerTopic, p, 100000)) {
+            const PowerSample ps = decode_power(msg.value);
+            EndpointState& state = endpoints_[ps.endpoint];
+            Sample s;
+            s.t = ps.t_seconds;
+            s.watts = ps.node_watts;
+            const auto it = state.pending_counters.find(ps.t_seconds);
+            if (it != state.pending_counters.end()) {
+                s.tasks = it->second;
+                state.pending_counters.erase(it);
+            }
+            for (const auto& cs : s.tasks) {
+                s.gips += cs.gips;
+                s.llc += cs.llc_mps;
+                s.cores += cs.cores;
+            }
+            if (state.samples_seen > 0 && ps.t_seconds > state.last_t) {
+                state.interval = ps.t_seconds - state.last_t;
+            }
+            state.last_t = ps.t_seconds;
+            ++state.samples_seen;
+            state.fit_buffer.push_back(s);
+            if (state.fit_buffer.size() > kFitBufferCap) {
+                state.fit_buffer.erase(state.fit_buffer.begin());
+            }
+            state.window.push_back(std::move(s));
+            if (state.samples_seen % refit_every_ == 0) refit(state);
+            // Attribute as soon as a model exists; otherwise samples wait in
+            // the window for the first fit.
+            if (state.fit) attribute(state);
+        }
+    }
+}
+
+void EndpointMonitor::refit(EndpointState& state) {
+    if (state.fit_buffer.size() < 8) return;
+    std::vector<double> rows;
+    std::vector<double> y;
+    rows.reserve(state.fit_buffer.size() * 3);
+    y.reserve(state.fit_buffer.size());
+    for (const auto& s : state.fit_buffer) {
+        rows.push_back(s.gips);
+        rows.push_back(s.llc);
+        rows.push_back(s.cores);
+        y.push_back(s.watts);
+    }
+    state.fit = ga::stats::ols_fit(rows, 3, y, /*with_intercept=*/true);
+}
+
+void EndpointMonitor::attribute(EndpointState& state) {
+    GA_REQUIRE(state.fit.has_value(), "monitor: attribute before fit");
+    for (const auto& s : state.window) {
+        for (const auto& cs : s.tasks) {
+            const std::vector<double> features = {cs.gips, cs.llc_mps,
+                                                  static_cast<double>(cs.cores)};
+            // The intercept is the node's idle draw and is not attributed to
+            // tasks (jobs are charged for their active share; idle belongs to
+            // the provider under this disaggregation).
+            const double watts =
+                std::max(0.0, state.fit->predict(features) - state.fit->intercept);
+            task_energy_[cs.task_id] += watts * state.interval;
+        }
+    }
+    state.window.clear();
+}
+
+double EndpointMonitor::task_energy_j(std::uint64_t task_id) const {
+    const auto it = task_energy_.find(task_id);
+    return it == task_energy_.end() ? 0.0 : it->second;
+}
+
+std::optional<ga::stats::OlsFit> EndpointMonitor::power_model(
+    const std::string& endpoint) const {
+    const auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end()) return std::nullopt;
+    return it->second.fit;
+}
+
+double EndpointMonitor::idle_estimate_w(const std::string& endpoint) const {
+    const auto fit = power_model(endpoint);
+    return fit ? fit->intercept : 0.0;
+}
+
+std::size_t EndpointMonitor::sample_count(const std::string& endpoint) const {
+    const auto it = endpoints_.find(endpoint);
+    return it == endpoints_.end() ? 0 : it->second.samples_seen;
+}
+
+}  // namespace ga::faas

@@ -1,0 +1,84 @@
+// The green-ACCESS endpoint monitor (paper Fig. 3, component 3).
+//
+// "Energy and performance counter data are transferred via Kafka to
+// green-ACCESS, where they are consumed by the endpoint monitor, a streaming
+// consumer... This monitor disaggregates per-node power measurements from
+// the RAPL subsystem into user jobs... we collect per-process hardware
+// performance counters and periodically fit a power model between
+// performance counters and measured energy. Per-process estimates are
+// aggregated to obtain the energy used by a task."
+//
+// The power model is an OLS fit  node_watts ≈ a·ΣGIPS + b·ΣLLC + c·Σcores + d
+// over aligned samples; the intercept d estimates idle power, and the
+// per-task share a·gips + b·llc + c·cores integrates to task energy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "faas/broker.hpp"
+#include "faas/telemetry.hpp"
+#include "stats/regression.hpp"
+
+namespace ga::faas {
+
+class EndpointMonitor {
+public:
+    /// `refit_every` controls how often (in consumed power samples per
+    /// endpoint) the model is refit — the paper refits periodically.
+    explicit EndpointMonitor(Broker* broker,
+                             std::string group = "green-access-monitor",
+                             std::size_t refit_every = 16);
+
+    /// Consumes all pending telemetry and updates task energy attributions.
+    void poll();
+
+    /// Attributed energy of a task so far (0 if unseen).
+    [[nodiscard]] double task_energy_j(std::uint64_t task_id) const;
+
+    /// Latest fitted power model for an endpoint (nullopt before first fit).
+    [[nodiscard]] std::optional<ga::stats::OlsFit> power_model(
+        const std::string& endpoint) const;
+
+    /// Idle-power estimate (the fit intercept), 0 before the first fit.
+    [[nodiscard]] double idle_estimate_w(const std::string& endpoint) const;
+
+    /// Number of power samples consumed for an endpoint.
+    [[nodiscard]] std::size_t sample_count(const std::string& endpoint) const;
+
+private:
+    struct Sample {
+        double t = 0.0;
+        double watts = 0.0;
+        double gips = 0.0;
+        double llc = 0.0;
+        double cores = 0.0;
+        std::vector<CounterSample> tasks;
+    };
+
+    static constexpr std::size_t kFitBufferCap = 512;
+
+    struct EndpointState {
+        std::vector<Sample> window;      ///< samples awaiting attribution
+        std::vector<Sample> fit_buffer;  ///< recent samples for (re)fitting
+        std::optional<ga::stats::OlsFit> fit;
+        std::size_t samples_seen = 0;
+        double interval = 1.0;        ///< inferred sampling period
+        double last_t = 0.0;
+        std::map<double, std::vector<CounterSample>> pending_counters;
+    };
+
+    void refit(EndpointState& state);
+    void attribute(EndpointState& state);
+
+    Broker* broker_;
+    std::string group_;
+    std::size_t refit_every_;
+    std::map<std::string, EndpointState> endpoints_;
+    std::map<std::uint64_t, double> task_energy_;
+};
+
+}  // namespace ga::faas

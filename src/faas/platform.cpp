@@ -1,0 +1,120 @@
+#include "faas/platform.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ga::faas {
+
+GreenAccess::GreenAccess(std::unique_ptr<ga::acct::Accountant> accountant)
+    : accountant_(std::move(accountant)), monitor_(&broker_) {
+    GA_REQUIRE(accountant_ != nullptr, "platform: accountant required");
+}
+
+GreenAccess GreenAccess::with_method(ga::acct::Method method) {
+    return GreenAccess(ga::acct::make_accountant(method));
+}
+
+void GreenAccess::register_endpoint(const ga::machine::CatalogEntry& entry) {
+    GA_REQUIRE(endpoints_.find(entry.node.name) == endpoints_.end(),
+               "platform: endpoint already registered");
+    endpoints_[entry.node.name] = std::make_unique<Endpoint>(
+        entry, &broker_, /*sample_interval_s=*/1.0, /*noise_w=*/0.5,
+        /*seed=*/0xE9D0 + endpoints_.size());
+}
+
+void GreenAccess::create_user(const std::string& user, double budget) {
+    ledger_.create_account(user, budget);
+}
+
+std::vector<std::string> GreenAccess::endpoint_names() const {
+    std::vector<std::string> names;
+    names.reserve(endpoints_.size());
+    for (const auto& [name, ep] : endpoints_) names.push_back(name);
+    return names;
+}
+
+std::vector<ga::acct::CostEstimate> GreenAccess::predict(
+    const ga::machine::WorkProfile& profile, int cores) const {
+    std::vector<ga::machine::CatalogEntry> machines;
+    machines.reserve(endpoints_.size());
+    for (const auto& [name, ep] : endpoints_) machines.push_back(ep->machine());
+    return estimator_.rank(profile, machines, cores, *accountant_, clock_);
+}
+
+InvocationResult GreenAccess::submit(const std::string& user,
+                                     const ga::machine::WorkProfile& profile,
+                                     int cores, const std::string& machine) {
+    InvocationResult result;
+
+    // ---- access control ----
+    if (!ledger_.has_account(user)) {
+        result.reject_reason = "unknown user";
+        return result;
+    }
+
+    // ---- routing ----
+    const Endpoint* target = nullptr;
+    if (machine.empty()) {
+        const auto ranked = predict(profile, cores);
+        GA_REQUIRE(!ranked.empty(), "platform: no endpoints registered");
+        target = endpoints_.at(ranked.front().machine).get();
+    } else {
+        const auto it = endpoints_.find(machine);
+        if (it == endpoints_.end()) {
+            result.reject_reason = "unknown machine";
+            return result;
+        }
+        target = it->second.get();
+    }
+
+    // ---- admission: the predicted cost must fit the remaining budget ----
+    const auto estimate = estimator_.estimate(
+        profile, target->machine(), cores, *accountant_, clock_);
+    if (ledger_.remaining(user) < estimate.cost) {
+        result.reject_reason = "insufficient allocation";
+        return result;
+    }
+
+    // ---- execute (virtual time) and stream telemetry ----
+    Endpoint* ep = endpoints_.at(target->machine().node.name).get();
+    const Execution exec = ep->execute(profile, cores, clock_);
+    // Flush well past the end: the trailing idle samples anchor the power
+    // model's intercept and guarantee the monitor reaches its refit cadence
+    // even for sub-second invocations.
+    advance_to(exec.end_s + 20.0);
+
+    // ---- charge with the measured energy ----
+    const double measured = monitor_.task_energy_j(exec.task_id);
+    ga::acct::JobUsage usage;
+    usage.duration_s = exec.seconds();
+    usage.energy_j = measured;
+    usage.cores = exec.cores;
+    usage.submit_time_s = exec.start_s;
+    const double cost =
+        ledger_.charge(user, *accountant_, usage, ep->machine());
+    if (cost < 0.0) {
+        // Measured energy exceeded the estimate and the remaining budget;
+        // the provider absorbs the overrun but the job is reported rejected
+        // for accounting purposes.
+        result.reject_reason = "allocation exhausted at settlement";
+        return result;
+    }
+
+    result.accepted = true;
+    result.machine = ep->machine().node.name;
+    result.task_id = exec.task_id;
+    result.duration_s = exec.seconds();
+    result.measured_energy_j = measured;
+    result.cost = cost;
+    return result;
+}
+
+void GreenAccess::advance_to(double t_s) {
+    GA_REQUIRE(t_s >= clock_, "platform: clock cannot run backwards");
+    clock_ = t_s;
+    for (auto& [name, ep] : endpoints_) ep->flush_until(t_s);
+    monitor_.poll();
+}
+
+}  // namespace ga::faas

@@ -1,0 +1,25 @@
+#include "faas/rapl.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ga::faas {
+
+void RaplCounter::advance(double joules) {
+    GA_REQUIRE(joules >= 0.0, "rapl: energy cannot decrease");
+    total_j_ += joules;
+    const double uj = joules * 1e6 + residual_uj_;
+    const double whole = std::floor(uj);
+    residual_uj_ = uj - whole;
+    // Modular add; wraps naturally at 2^32.
+    raw_ += static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(whole) & 0xFFFFFFFFull);
+}
+
+double RaplCounter::delta_joules(std::uint32_t before, std::uint32_t after) noexcept {
+    const std::uint32_t delta = after - before;  // wraps correctly unsigned
+    return static_cast<double>(delta) * 1e-6;
+}
+
+}  // namespace ga::faas

@@ -1,0 +1,37 @@
+// RAPL-style cumulative energy counters.
+//
+// Real RAPL exposes package energy as a 32-bit register in energy units that
+// wraps around (documented pain point of production power monitoring; the
+// paper's endpoints poll RAPL via a monitor). We model the register and the
+// wrap-safe delta computation the monitor applies.
+#pragma once
+
+#include <cstdint>
+
+namespace ga::faas {
+
+/// Cumulative energy register with 32-bit wraparound, in micro-joules.
+class RaplCounter {
+public:
+    /// Accumulates `joules` of energy (must be >= 0).
+    void advance(double joules);
+
+    /// Raw register value (micro-joules modulo 2^32).
+    [[nodiscard]] std::uint32_t raw() const noexcept { return raw_; }
+
+    /// Total accumulated energy in joules (for verification; real hardware
+    /// does not expose this).
+    [[nodiscard]] double total_joules() const noexcept { return total_j_; }
+
+    /// Wrap-safe difference between two register reads, in joules. Assumes
+    /// at most one wrap between reads (guaranteed for sane poll intervals).
+    [[nodiscard]] static double delta_joules(std::uint32_t before,
+                                             std::uint32_t after) noexcept;
+
+private:
+    std::uint32_t raw_ = 0;
+    double total_j_ = 0.0;
+    double residual_uj_ = 0.0;  ///< sub-microjoule remainder
+};
+
+}  // namespace ga::faas

@@ -1,0 +1,58 @@
+#include "faas/telemetry.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace ga::faas {
+
+namespace {
+
+constexpr std::size_t kBufSize = 256;
+
+}  // namespace
+
+std::string encode(const PowerSample& s) {
+    char buf[kBufSize];
+    std::snprintf(buf, sizeof(buf), "P|%s|%.9g|%.9g", s.endpoint.c_str(),
+                  s.t_seconds, s.node_watts);
+    return buf;
+}
+
+std::string encode(const CounterSample& s) {
+    char buf[kBufSize];
+    std::snprintf(buf, sizeof(buf), "C|%s|%.9g|%llu|%.9g|%.9g|%d",
+                  s.endpoint.c_str(), s.t_seconds,
+                  static_cast<unsigned long long>(s.task_id), s.gips, s.llc_mps,
+                  s.cores);
+    return buf;
+}
+
+PowerSample decode_power(const std::string& wire) {
+    char endpoint[kBufSize] = {};
+    PowerSample s;
+    // %[^|] scans the endpoint name up to the next separator.
+    const int n = std::sscanf(wire.c_str(), "P|%127[^|]|%lf|%lf", endpoint,
+                              &s.t_seconds, &s.node_watts);
+    if (n != 3) throw ga::util::RuntimeError("telemetry: bad power record: " + wire);
+    s.endpoint = endpoint;
+    return s;
+}
+
+CounterSample decode_counters(const std::string& wire) {
+    char endpoint[kBufSize] = {};
+    CounterSample s;
+    unsigned long long task = 0;
+    const int n =
+        std::sscanf(wire.c_str(), "C|%127[^|]|%lf|%llu|%lf|%lf|%d", endpoint,
+                    &s.t_seconds, &task, &s.gips, &s.llc_mps, &s.cores);
+    if (n != 6) {
+        throw ga::util::RuntimeError("telemetry: bad counter record: " + wire);
+    }
+    s.endpoint = endpoint;
+    s.task_id = task;
+    return s;
+}
+
+}  // namespace ga::faas

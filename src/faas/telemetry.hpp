@@ -1,0 +1,39 @@
+// Telemetry records shipped from endpoints to the monitor, with a compact
+// text wire format (the broker carries opaque strings, like Kafka).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ga::faas {
+
+/// Node-level RAPL-style power sample.
+struct PowerSample {
+    std::string endpoint;
+    double t_seconds = 0.0;
+    double node_watts = 0.0;
+};
+
+/// Per-task hardware-counter sample over the last interval.
+struct CounterSample {
+    std::string endpoint;
+    double t_seconds = 0.0;
+    std::uint64_t task_id = 0;
+    double gips = 0.0;     ///< instructions/s, billions (task total)
+    double llc_mps = 0.0;  ///< LLC misses/s, millions (task total)
+    int cores = 1;
+};
+
+/// Serialization (field-separated, locale-independent).
+[[nodiscard]] std::string encode(const PowerSample& s);
+[[nodiscard]] std::string encode(const CounterSample& s);
+
+/// Parsing; throws RuntimeError on malformed input.
+[[nodiscard]] PowerSample decode_power(const std::string& wire);
+[[nodiscard]] CounterSample decode_counters(const std::string& wire);
+
+/// Topic names used by the pipeline.
+inline constexpr const char* kPowerTopic = "greenaccess.power";
+inline constexpr const char* kCounterTopic = "greenaccess.counters";
+
+}  // namespace ga::faas

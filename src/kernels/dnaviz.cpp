@@ -1,0 +1,76 @@
+// DNA visualization: converts a nucleotide sequence into a 2-D "squiggle"
+// trajectory (the SeBS dna-visualization workload): each base contributes a
+// direction step; the cumulative path is then downsampled for plotting.
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/detail.hpp"
+#include "kernels/kernel.hpp"
+#include "util/error.hpp"
+
+namespace ga::kernels {
+
+namespace {
+
+constexpr int kDownsample = 64;
+
+class DnaVizKernel final : public Kernel {
+public:
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "DNA Viz.";
+    }
+    [[nodiscard]] int paper_scale() const noexcept override { return 60'000'000; }
+    [[nodiscard]] int test_scale() const noexcept override { return 100'000; }
+
+    [[nodiscard]] KernelResult run(int n) const override;
+};
+
+}  // namespace
+
+KernelResult DnaVizKernel::run(int n) const {
+    GA_REQUIRE(n >= kDownsample, "dnaviz: sequence too short");
+    const detail::WallTimer timer;
+    const auto un = static_cast<std::size_t>(n);
+
+    // Generate the sequence (A=0, C=1, G=2, T=3).
+    std::vector<std::uint8_t> seq(un);
+    for (std::size_t i = 0; i < un; ++i) {
+        seq[i] = static_cast<std::uint8_t>(
+            static_cast<std::uint32_t>(detail::fill_value(i) * 4.0) & 3u);
+    }
+
+    // Squiggle transform: A -> (+1,+1), C -> (+1,-1), G -> (+1,+0.5),
+    // T -> (+1,-0.5); cumulative y with GC-skew correction.
+    static constexpr std::array<double, 4> kDy = {1.0, -1.0, 0.5, -0.5};
+    std::vector<double> ys(un / kDownsample + 1, 0.0);
+    double y = 0.0;
+    double gc = 0.0;
+    for (std::size_t i = 0; i < un; ++i) {
+        const std::uint8_t b = seq[i];
+        y += kDy[b];
+        gc += (b == 1 || b == 2) ? 1.0 : 0.0;
+        if (i % kDownsample == 0) {
+            ys[i / kDownsample] = y + 0.1 * gc / static_cast<double>(i + 1);
+        }
+    }
+
+    double checksum = y + gc;
+    for (const double v : ys) checksum += v * 1e-6;
+
+    KernelResult out;
+    // Per base: increment + skew update + branch (~5 flops), 1-byte read plus
+    // amortized downsampled writes.
+    out.profile.flops = static_cast<double>(un) * 5.0;
+    out.profile.mem_bytes =
+        static_cast<double>(un) * (1.0 + 2.0) +
+        static_cast<double>(ys.size()) * 8.0;
+    out.profile.parallel_fraction = 0.80;  // prefix-sum style parallelization
+    out.checksum = checksum;
+    out.wall_seconds = timer.seconds();
+    return out;
+}
+
+std::unique_ptr<Kernel> make_dnaviz() { return std::make_unique<DnaVizKernel>(); }
+
+}  // namespace ga::kernels

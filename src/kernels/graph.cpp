@@ -1,0 +1,54 @@
+#include "kernels/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ga::kernels {
+
+CsrGraph make_graph(int n, int avg_degree, std::uint64_t seed) {
+    GA_REQUIRE(n >= 2, "graph: need at least two vertices");
+    GA_REQUIRE(avg_degree >= 1, "graph: average degree must be >= 1");
+    const auto un = static_cast<std::size_t>(n);
+    const std::size_t extra = un * static_cast<std::size_t>(avg_degree - 1);
+
+    ga::util::Rng rng(seed);
+
+    // Edge list: ring backbone (i -> i+1) plus skewed random edges. Squaring
+    // a uniform variate concentrates endpoints on low ids, giving hub-like
+    // degree skew similar to scale-free graphs.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(un + extra);
+    for (std::size_t i = 0; i < un; ++i) {
+        edges.emplace_back(static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>((i + 1) % un));
+    }
+    for (std::size_t e = 0; e < extra; ++e) {
+        const double r1 = rng.uniform();
+        const double r2 = rng.uniform();
+        const auto src = static_cast<std::uint32_t>(
+            static_cast<double>(n) * r1 * r1 * 0.999999);
+        const auto dst = static_cast<std::uint32_t>(
+            static_cast<double>(n) * r2 * 0.999999);
+        edges.emplace_back(src, dst);
+    }
+
+    // Counting sort by source into CSR.
+    CsrGraph g;
+    g.offsets.assign(un + 1, 0);
+    for (const auto& [src, dst] : edges) ++g.offsets[src + 1];
+    for (std::size_t i = 1; i <= un; ++i) g.offsets[i] += g.offsets[i - 1];
+    g.targets.resize(edges.size());
+    g.weights.resize(edges.size());
+    std::vector<std::uint64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+    for (const auto& [src, dst] : edges) {
+        const std::uint64_t slot = cursor[src]++;
+        g.targets[slot] = dst;
+        g.weights[slot] = static_cast<float>(rng.uniform(0.0, 1.0));
+    }
+    return g;
+}
+
+}  // namespace ga::kernels

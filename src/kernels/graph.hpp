@@ -1,0 +1,28 @@
+// Deterministic synthetic graph shared by the PageRank / BFS / MST kernels.
+//
+// Edges follow a skewed (power-law-ish) endpoint distribution plus a ring
+// backbone so the graph is connected (BFS must reach every vertex).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ga::kernels {
+
+/// Compressed-sparse-row directed graph.
+struct CsrGraph {
+    std::vector<std::uint64_t> offsets;  ///< size n+1
+    std::vector<std::uint32_t> targets;  ///< size m
+    std::vector<float> weights;          ///< size m (used by MST)
+
+    [[nodiscard]] std::size_t num_vertices() const noexcept {
+        return offsets.empty() ? 0 : offsets.size() - 1;
+    }
+    [[nodiscard]] std::size_t num_edges() const noexcept { return targets.size(); }
+};
+
+/// Builds a connected synthetic graph with `n` vertices and about
+/// `avg_degree * n` edges. Deterministic in (n, avg_degree, seed).
+[[nodiscard]] CsrGraph make_graph(int n, int avg_degree, std::uint64_t seed);
+
+}  // namespace ga::kernels

@@ -1,0 +1,37 @@
+#include "kernels/kernel.hpp"
+
+#include "util/error.hpp"
+
+namespace ga::kernels {
+
+std::vector<std::unique_ptr<Kernel>> make_suite() {
+    std::vector<std::unique_ptr<Kernel>> suite;
+    suite.push_back(make_cholesky());
+    suite.push_back(make_md());
+    suite.push_back(make_pagerank());
+    suite.push_back(make_matmul());
+    suite.push_back(make_dnaviz());
+    suite.push_back(make_bfs());
+    suite.push_back(make_mst());
+    return suite;
+}
+
+const std::vector<std::string>& suite_names() {
+    static const std::vector<std::string> names = {
+        "Cholesky", "MD", "Pagerank", "MatMul", "DNA Viz.", "BFS", "MST"};
+    return names;
+}
+
+std::unique_ptr<Kernel> make_kernel(std::string_view name) {
+    if (name == "Cholesky") return make_cholesky();
+    if (name == "MD") return make_md();
+    if (name == "Pagerank") return make_pagerank();
+    if (name == "MatMul") return make_matmul();
+    if (name == "DNA Viz.") return make_dnaviz();
+    if (name == "BFS") return make_bfs();
+    if (name == "MST") return make_mst();
+    throw ga::util::RuntimeError("kernels: unknown kernel '" + std::string(name) +
+                                 "'");
+}
+
+}  // namespace ga::kernels

@@ -1,0 +1,169 @@
+// Molecular dynamics: Lennard-Jones particles, cell-list neighbor search,
+// velocity-Verlet integration in a periodic box.
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "kernels/detail.hpp"
+#include "kernels/kernel.hpp"
+#include "util/error.hpp"
+
+namespace ga::kernels {
+
+namespace {
+
+constexpr int kSteps = 40;
+constexpr double kCutoff = 2.5;
+constexpr double kDt = 0.002;
+constexpr double kDensity = 0.8;
+
+class MdKernel final : public Kernel {
+public:
+    [[nodiscard]] std::string_view name() const noexcept override { return "MD"; }
+    [[nodiscard]] int paper_scale() const noexcept override { return 60'000; }
+    [[nodiscard]] int test_scale() const noexcept override { return 1'000; }
+
+    [[nodiscard]] KernelResult run(int n) const override;
+};
+
+}  // namespace
+
+KernelResult MdKernel::run(int n) const {
+    GA_REQUIRE(n >= 8, "md: need at least eight atoms");
+    const detail::WallTimer timer;
+    const auto un = static_cast<std::size_t>(n);
+
+    const double box = std::cbrt(static_cast<double>(n) / kDensity);
+    const int cells_per_dim = std::max(1, static_cast<int>(box / kCutoff));
+    const double cell_size = box / cells_per_dim;
+    const std::size_t n_cells = static_cast<std::size_t>(cells_per_dim) *
+                                cells_per_dim * cells_per_dim;
+
+    std::vector<double> px(un), py(un), pz(un);
+    std::vector<double> vx(un, 0.0), vy(un, 0.0), vz(un, 0.0);
+    std::vector<double> fx(un), fy(un), fz(un);
+    for (std::size_t i = 0; i < un; ++i) {
+        px[i] = detail::fill_value(3 * i + 0) * box;
+        py[i] = detail::fill_value(3 * i + 1) * box;
+        pz[i] = detail::fill_value(3 * i + 2) * box;
+    }
+
+    auto cell_of = [&](double x, double y, double z) {
+        auto idx = [&](double v) {
+            int c = static_cast<int>(v / cell_size);
+            if (c >= cells_per_dim) c = cells_per_dim - 1;
+            if (c < 0) c = 0;
+            return c;
+        };
+        return (static_cast<std::size_t>(idx(x)) * cells_per_dim +
+                static_cast<std::size_t>(idx(y))) *
+                   cells_per_dim +
+               static_cast<std::size_t>(idx(z));
+    };
+
+    std::vector<std::vector<std::uint32_t>> cells(n_cells);
+    std::uint64_t pair_evals = 0;
+    double potential = 0.0;
+
+    const double rc2 = kCutoff * kCutoff;
+    for (int step = 0; step < kSteps; ++step) {
+        // Rebuild cell lists.
+        for (auto& c : cells) c.clear();
+        for (std::size_t i = 0; i < un; ++i) {
+            cells[cell_of(px[i], py[i], pz[i])].push_back(
+                static_cast<std::uint32_t>(i));
+        }
+        std::fill(fx.begin(), fx.end(), 0.0);
+        std::fill(fy.begin(), fy.end(), 0.0);
+        std::fill(fz.begin(), fz.end(), 0.0);
+        potential = 0.0;
+
+        // Forces over neighboring cells.
+        for (int cx = 0; cx < cells_per_dim; ++cx) {
+            for (int cy = 0; cy < cells_per_dim; ++cy) {
+                for (int cz = 0; cz < cells_per_dim; ++cz) {
+                    const std::size_t c0 =
+                        (static_cast<std::size_t>(cx) * cells_per_dim +
+                         static_cast<std::size_t>(cy)) *
+                            cells_per_dim +
+                        static_cast<std::size_t>(cz);
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        for (int dy = -1; dy <= 1; ++dy) {
+                            for (int dz = -1; dz <= 1; ++dz) {
+                                const int nx = (cx + dx + cells_per_dim) % cells_per_dim;
+                                const int ny = (cy + dy + cells_per_dim) % cells_per_dim;
+                                const int nz = (cz + dz + cells_per_dim) % cells_per_dim;
+                                const std::size_t c1 =
+                                    (static_cast<std::size_t>(nx) * cells_per_dim +
+                                     static_cast<std::size_t>(ny)) *
+                                        cells_per_dim +
+                                    static_cast<std::size_t>(nz);
+                                for (const std::uint32_t i : cells[c0]) {
+                                    for (const std::uint32_t j : cells[c1]) {
+                                        if (j <= i) continue;
+                                        double rx = px[i] - px[j];
+                                        double ry = py[i] - py[j];
+                                        double rz = pz[i] - pz[j];
+                                        // Minimum image.
+                                        rx -= box * std::round(rx / box);
+                                        ry -= box * std::round(ry / box);
+                                        rz -= box * std::round(rz / box);
+                                        const double r2 = rx * rx + ry * ry + rz * rz;
+                                        ++pair_evals;
+                                        if (r2 >= rc2 || r2 <= 1e-12) continue;
+                                        const double inv2 = 1.0 / r2;
+                                        const double inv6 = inv2 * inv2 * inv2;
+                                        const double lj =
+                                            24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+                                        fx[i] += lj * rx;
+                                        fy[i] += lj * ry;
+                                        fz[i] += lj * rz;
+                                        fx[j] -= lj * rx;
+                                        fy[j] -= lj * ry;
+                                        fz[j] -= lj * rz;
+                                        potential += 4.0 * inv6 * (inv6 - 1.0);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Velocity-Verlet half-kick + drift (forces treated as constant over
+        // the step; adequate for a work-profile benchmark).
+        for (std::size_t i = 0; i < un; ++i) {
+            vx[i] += kDt * fx[i];
+            vy[i] += kDt * fy[i];
+            vz[i] += kDt * fz[i];
+            px[i] += kDt * vx[i];
+            py[i] += kDt * vy[i];
+            pz[i] += kDt * vz[i];
+            // Wrap into the box.
+            px[i] -= box * std::floor(px[i] / box);
+            py[i] -= box * std::floor(py[i] / box);
+            pz[i] -= box * std::floor(pz[i] / box);
+        }
+    }
+
+    double kinetic = 0.0;
+    for (std::size_t i = 0; i < un; ++i) {
+        kinetic += 0.5 * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+    }
+
+    KernelResult out;
+    // ~27 flops per distance+force evaluation, ~10 per integration update.
+    out.profile.flops = static_cast<double>(pair_evals) * 27.0 +
+                        static_cast<double>(un) * kSteps * 10.0;
+    out.profile.mem_bytes = static_cast<double>(pair_evals) * 48.0 +
+                            static_cast<double>(un) * kSteps * 96.0;
+    out.profile.parallel_fraction = 0.95;
+    out.checksum = kinetic + potential;
+    out.wall_seconds = timer.seconds();
+    return out;
+}
+
+std::unique_ptr<Kernel> make_md() { return std::make_unique<MdKernel>(); }
+
+}  // namespace ga::kernels

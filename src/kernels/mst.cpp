@@ -1,0 +1,113 @@
+// Minimum spanning tree via Kruskal's algorithm (sort + union-find with path
+// compression and union by rank).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "kernels/detail.hpp"
+#include "kernels/graph.hpp"
+#include "kernels/kernel.hpp"
+#include "util/error.hpp"
+
+namespace ga::kernels {
+
+namespace {
+
+constexpr int kAvgDegree = 8;
+
+class UnionFind {
+public:
+    explicit UnionFind(std::size_t n) : parent_(n), rank_(n, 0) {
+        std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+    }
+
+    std::uint32_t find(std::uint32_t x, std::uint64_t& probes) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];  // path halving
+            x = parent_[x];
+            probes += 2;
+        }
+        ++probes;
+        return x;
+    }
+
+    bool unite(std::uint32_t a, std::uint32_t b, std::uint64_t& probes) {
+        a = find(a, probes);
+        b = find(b, probes);
+        if (a == b) return false;
+        if (rank_[a] < rank_[b]) std::swap(a, b);
+        parent_[b] = a;
+        if (rank_[a] == rank_[b]) ++rank_[a];
+        return true;
+    }
+
+private:
+    std::vector<std::uint32_t> parent_;
+    std::vector<std::uint8_t> rank_;
+};
+
+class MstKernel final : public Kernel {
+public:
+    [[nodiscard]] std::string_view name() const noexcept override { return "MST"; }
+    [[nodiscard]] int paper_scale() const noexcept override { return 1'500'000; }
+    [[nodiscard]] int test_scale() const noexcept override { return 3'000; }
+
+    [[nodiscard]] KernelResult run(int n) const override;
+};
+
+}  // namespace
+
+KernelResult MstKernel::run(int n) const {
+    GA_REQUIRE(n >= 2, "mst: need at least two vertices");
+    const detail::WallTimer timer;
+    const CsrGraph g = make_graph(n, kAvgDegree, /*seed=*/0x357u);
+    const std::size_t un = g.num_vertices();
+    const std::size_t m = g.num_edges();
+
+    // Flatten to an edge array sorted by weight.
+    struct Edge {
+        float w;
+        std::uint32_t src;
+        std::uint32_t dst;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    for (std::size_t v = 0; v < un; ++v) {
+        for (std::uint64_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+            edges.push_back(Edge{g.weights[e], static_cast<std::uint32_t>(v),
+                                 g.targets[e]});
+        }
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& a, const Edge& b) { return a.w < b.w; });
+
+    UnionFind uf(un);
+    std::uint64_t probes = 0;
+    std::size_t accepted = 0;
+    double total_weight = 0.0;
+    for (const Edge& e : edges) {
+        if (uf.unite(e.src, e.dst, probes)) {
+            total_weight += static_cast<double>(e.w);
+            if (++accepted == un - 1) break;
+        }
+    }
+
+    KernelResult out;
+    const auto md = static_cast<double>(m);
+    out.profile.flops = 0.0;
+    // Sort traffic (comparison-based, ~log2(m) passes over 12-byte records)
+    // plus union-find probe traffic.
+    const double log_m = md > 1.0 ? std::log2(md) : 1.0;
+    out.profile.mem_bytes =
+        md * 12.0 * log_m + static_cast<double>(probes) * 8.0 + md * 24.0;
+    out.profile.parallel_fraction = 0.60;  // sort parallelizes, union-find poorly
+    out.checksum = total_weight;
+    out.wall_seconds = timer.seconds();
+    return out;
+}
+
+std::unique_ptr<Kernel> make_mst() { return std::make_unique<MstKernel>(); }
+
+}  // namespace ga::kernels

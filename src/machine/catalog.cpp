@@ -1,0 +1,269 @@
+#include "machine/catalog.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ga::machine {
+
+namespace {
+
+CpuSpec make_cpu(std::string model, Vendor vendor, int year, int cores, double tdp,
+                 double idle, double gflops_core, double watts_core, double bw,
+                 double peak_score, double throttle) {
+    CpuSpec c;
+    c.model = std::move(model);
+    c.vendor = vendor;
+    c.year = year;
+    c.cores = cores;
+    c.tdp_w = tdp;
+    c.idle_w = idle;
+    c.sustained_gflops_per_core = gflops_core;
+    c.active_watts_per_core = watts_core;
+    c.mem_bw_gbs = bw;
+    c.peak_score_per_thread = peak_score;
+    c.allcore_throttle = throttle;
+    return c;
+}
+
+std::vector<CatalogEntry> build_catalog() {
+    std::vector<CatalogEntry> entries;
+
+    // ---------------- Chameleon CPU nodes (Tables 1, 4; Fig. 4) -----------
+    // Model constants calibrated to Table 1: runtimes 5.20/4.68/4.60/5.65 s
+    // and energies 18.3/35.8/19.8/16.8 J for the Cholesky task.
+    // Peak scores are PassMark-like single-thread ratings [paper ref 39].
+    {
+        CatalogEntry e;
+        e.id = CatalogId::Desktop;
+        e.node.name = "Desktop";
+        e.node.cpu = make_cpu("Intel Core i7-10700", Vendor::Intel, 2020, 16, 65.0,
+                              6.51, 10.0, 3.52, 40.0, 2900.0, 0.55);
+        e.node.sockets = 1;
+        e.node.dram_gb = 64.0;
+        e.node.ssd_tb = 1.0;
+        e.node.year_deployed = 2021;  // age 3 at the 2024 measurements (Table 4)
+        e.node.node_idle_w = 6.51;
+        e.platform_overhead_kg = 160.0;
+        e.reference_year = 2024;
+        e.avg_carbon_intensity = 454.0;
+        e.pue = 1.0;  // a desk-side machine has no facility overhead
+        e.grid_region = "NO-NO2";  // Fig-7 low-carbon assignment (§5.6)
+        entries.push_back(e);
+    }
+    {
+        CatalogEntry e;
+        e.id = CatalogId::CascadeLake;
+        e.node.name = "Cascade Lake";
+        e.node.cpu = make_cpu("Intel Xeon 6248R", Vendor::Intel, 2019, 24, 205.0,
+                              68.0, 11.1, 7.65, 140.0, 2250.0, 0.18);
+        e.node.sockets = 2;
+        e.node.dram_gb = 384.0;
+        e.node.ssd_tb = 2.0;
+        e.node.year_deployed = 2020;  // age 4
+        e.node.node_idle_w = 136.0;
+        e.platform_overhead_kg = 200.0;
+        e.reference_year = 2024;
+        e.avg_carbon_intensity = 454.0;
+        e.pue = 1.25;
+        entries.push_back(e);
+    }
+    {
+        CatalogEntry e;
+        e.id = CatalogId::IceLake;
+        e.node.name = "Ice Lake";
+        e.node.cpu = make_cpu("Intel Xeon Platinum 8380", Vendor::Intel, 2021, 40,
+                              270.0, 90.0, 11.3, 4.30, 200.0, 2450.0, 0.15);
+        e.node.sockets = 2;
+        e.node.dram_gb = 1024.0;
+        e.node.ssd_tb = 2.0;
+        e.node.year_deployed = 2022;  // age 2
+        e.node.node_idle_w = 180.0;
+        e.platform_overhead_kg = 620.0;
+        e.reference_year = 2024;
+        e.avg_carbon_intensity = 454.0;
+        e.pue = 1.25;
+        entries.push_back(e);
+    }
+    {
+        CatalogEntry e;
+        e.id = CatalogId::Zen3;
+        e.node.name = "Zen3";
+        e.node.cpu = make_cpu("AMD EPYC 7763", Vendor::Amd, 2021, 64, 280.0, 95.0,
+                              9.2, 2.97, 200.0, 2550.0, 0.15);
+        e.node.sockets = 2;
+        e.node.dram_gb = 1024.0;
+        e.node.ssd_tb = 4.0;
+        e.node.year_deployed = 2023;  // age 1
+        e.node.node_idle_w = 190.0;
+        e.platform_overhead_kg = 1450.0;
+        e.reference_year = 2024;
+        e.avg_carbon_intensity = 454.0;
+        e.pue = 1.25;
+        entries.push_back(e);
+    }
+
+    // ---------------- Simulation machines (Table 5) ------------------------
+    // FASTER: newest and most energy-efficient per flop; high idle (205 W)
+    // and by far the highest embodied carbon rate (105.2 g/h at age 0).
+    {
+        CatalogEntry e;
+        e.id = CatalogId::Faster;
+        e.node.name = "FASTER";
+        e.node.cpu = make_cpu("Intel Xeon 8352Y", Vendor::Intel, 2021, 32, 205.0,
+                              102.5, 8.5, 2.9, 200.0, 2400.0, 0.10);
+        e.node.sockets = 2;
+        e.node.dram_gb = 256.0;
+        e.node.ssd_tb = 3.84;
+        e.node.year_deployed = 2023;
+        e.node.node_idle_w = 205.0;
+        // Composable-infrastructure share (PCIe fabric, liquid cooling plant)
+        // dominates FASTER's per-node embodied estimate.
+        e.platform_overhead_kg = 1270.0;
+        e.reference_year = 2023;  // simulation starts January 2023
+        e.avg_carbon_intensity = 389.0;
+        e.pue = 1.30;
+        e.grid_region = "CA-ON";
+        entries.push_back(e);
+    }
+    {
+        CatalogEntry e;
+        e.id = CatalogId::InstitutionalCluster;
+        e.node.name = "IC";
+        e.node.cpu = make_cpu("Intel Xeon 6248R", Vendor::Intel, 2019, 24, 205.0,
+                              68.0, 11.1, 7.65, 140.0, 2250.0, 0.18);
+        e.node.sockets = 2;
+        e.node.dram_gb = 384.0;
+        e.node.ssd_tb = 1.0;
+        e.node.year_deployed = 2021;
+        e.node.node_idle_w = 136.0;
+        e.platform_overhead_kg = 200.0;
+        e.reference_year = 2023;
+        e.avg_carbon_intensity = 454.0;
+        e.pue = 1.40;  // institutional machine-room cooling
+        e.grid_region = "AU-SA";
+        entries.push_back(e);
+    }
+    {
+        CatalogEntry e;
+        e.id = CatalogId::Theta;
+        e.node.name = "Theta";
+        // Slow, hot-per-flop many-core node: neither cheapest nor most
+        // efficient for most tasks, but with negligible embodied rate by 2023.
+        e.node.cpu = make_cpu("Intel KNL 7320", Vendor::Intel, 2016, 64, 215.0,
+                              110.0, 3.0, 3.2, 90.0, 1100.0, 0.05);
+        e.node.sockets = 1;
+        e.node.dram_gb = 208.0;  // 192 GB DDR4 + 16 GB MCDRAM
+        e.node.ssd_tb = 0.128;
+        e.node.year_deployed = 2017;
+        e.node.node_idle_w = 110.0;
+        e.platform_overhead_kg = 560.0;
+        e.reference_year = 2023;
+        e.avg_carbon_intensity = 502.0;
+        e.pue = 1.25;
+        e.grid_region = "DK-BHM";
+        entries.push_back(e);
+    }
+
+    // ---------------- GPU hosts (Tables 2, 3) ------------------------------
+    // GFlop/s are manufacturer-reported (paper Table 2). Embodied per-GPU and
+    // host overheads are calibrated so the DDB carbon rates land near the
+    // paper's 8.5 / 19 / 87 g/h (1 GPU) at the 2023 reference year.
+    auto gpu_host_cpu = make_cpu("Intel Xeon host", Vendor::Intel, 2019, 16, 150.0,
+                                 60.0, 9.0, 4.0, 120.0, 2000.0, 0.12);
+    {
+        CatalogEntry e;
+        e.id = CatalogId::P100Node;
+        e.node.name = "P100";
+        e.node.cpu = gpu_host_cpu;
+        e.node.sockets = 2;
+        e.node.gpu_count = 2;  // Grid'5000 P100 hosts carry two devices
+        e.node.gpu = GpuSpec{"Nvidia P100", 2018, 6700.0, 250.0, 28.0, 16.0, 11.0,
+                             280.0};
+        e.node.dram_gb = 512.0;
+        e.node.ssd_tb = 1.0;
+        e.node.year_deployed = 2018;
+        e.platform_overhead_kg = 1160.0;
+        e.reference_year = 2023;
+        e.avg_carbon_intensity = 53.0;  // Grid'5000 (France, nuclear-heavy)
+        e.pue = 1.35;
+        entries.push_back(e);
+    }
+    {
+        CatalogEntry e;
+        e.id = CatalogId::V100Node;
+        e.node.name = "V100";
+        e.node.cpu = gpu_host_cpu;
+        e.node.sockets = 2;
+        e.node.gpu_count = 8;
+        e.node.gpu = GpuSpec{"Nvidia V100", 2019, 14000.0, 250.0, 45.0, 32.0, 13.0,
+                             220.0};
+        e.node.dram_gb = 512.0;
+        e.node.ssd_tb = 2.0;
+        e.node.year_deployed = 2019;
+        e.platform_overhead_kg = 1850.0;
+        e.reference_year = 2023;
+        e.avg_carbon_intensity = 53.0;
+        e.pue = 1.35;
+        entries.push_back(e);
+    }
+    {
+        CatalogEntry e;
+        e.id = CatalogId::A100Node;
+        e.node.name = "A100";
+        e.node.cpu = gpu_host_cpu;
+        e.node.sockets = 2;
+        e.node.gpu_count = 8;
+        e.node.gpu = GpuSpec{"Nvidia A100", 2021, 18000.0, 400.0, 95.0, 40.0, 22.0,
+                             400.0};
+        e.node.dram_gb = 1024.0;
+        e.node.ssd_tb = 4.0;
+        e.node.year_deployed = 2021;
+        e.platform_overhead_kg = 2850.0;
+        e.reference_year = 2023;
+        e.avg_carbon_intensity = 53.0;
+        e.pue = 1.35;
+        entries.push_back(e);
+    }
+
+    return entries;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& catalog() {
+    static const std::vector<CatalogEntry> entries = build_catalog();
+    return entries;
+}
+
+const CatalogEntry& find(CatalogId id) {
+    for (const auto& e : catalog()) {
+        if (e.id == id) return e;
+    }
+    throw ga::util::PreconditionError("catalog: unknown machine id");
+}
+
+const CatalogEntry& find(std::string_view name) {
+    for (const auto& e : catalog()) {
+        if (e.node.name == name) return e;
+    }
+    throw ga::util::RuntimeError("catalog: no machine named '" + std::string(name) +
+                                 "'");
+}
+
+std::vector<CatalogEntry> chameleon_cpu_nodes() {
+    return {find(CatalogId::Desktop), find(CatalogId::CascadeLake),
+            find(CatalogId::IceLake), find(CatalogId::Zen3)};
+}
+
+std::vector<CatalogEntry> simulation_machines() {
+    return {find(CatalogId::Faster), find(CatalogId::Desktop),
+            find(CatalogId::InstitutionalCluster), find(CatalogId::Theta)};
+}
+
+std::vector<CatalogEntry> gpu_nodes() {
+    return {find(CatalogId::P100Node), find(CatalogId::V100Node),
+            find(CatalogId::A100Node)};
+}
+
+}  // namespace ga::machine

@@ -1,0 +1,25 @@
+#include "machine/embodied.hpp"
+
+#include "util/error.hpp"
+
+namespace ga::machine {
+
+EmbodiedEstimate estimate_embodied(const EmbodiedInput& input,
+                                   const EmbodiedFactors& factors) {
+    const NodeSpec& node = input.node;
+    GA_REQUIRE(node.sockets >= 1, "embodied: node needs at least one socket");
+    GA_REQUIRE(node.cpu.cores >= 1, "embodied: cpu needs at least one core");
+    GA_REQUIRE(node.gpu_count >= 0, "embodied: negative gpu count");
+
+    EmbodiedEstimate e;
+    e.platform_kg = input.platform_overhead_kg;
+    e.cpu_kg = static_cast<double>(node.sockets) *
+               (factors.cpu_base_kg +
+                factors.cpu_per_core_kg * static_cast<double>(node.cpu.cores));
+    e.dram_kg = node.dram_gb * factors.dram_kg_per_gb;
+    e.ssd_kg = node.ssd_tb * factors.ssd_kg_per_tb;
+    e.gpu_kg = static_cast<double>(node.gpu_count) * node.gpu.embodied_kg;
+    return e;
+}
+
+}  // namespace ga::machine

@@ -1,0 +1,59 @@
+// SCARIF-like embodied-carbon estimation.
+//
+// The paper computes embodied carbon "using manufacturers datasheets where
+// available or SCARIF [25]". SCARIF estimates server embodied carbon from a
+// bill of materials; we implement the same component decomposition with
+// published per-component factors:
+//
+//   embodied = platform_overhead            (chassis, mainboard, PSU, fabric share)
+//            + sockets * (cpu_base + cpu_per_core * cores)
+//            + dram_gb * dram_factor
+//            + ssd_tb  * ssd_factor
+//            + gpu_count * gpu_embodied
+//
+// The factors are calibration constants fitted so that applying the paper's
+// double-declining-balance schedule to the estimate reproduces the carbon
+// rates the paper reports (Tables 2 and 5); see EXPERIMENTS.md.
+#pragma once
+
+#include "machine/spec.hpp"
+
+namespace ga::machine {
+
+/// Per-component embodied carbon factors (kgCO2e).
+struct EmbodiedFactors {
+    double cpu_base_kg = 25.0;       ///< per socket package + substrate
+    double cpu_per_core_kg = 1.0;    ///< die area scales with core count
+    double dram_kg_per_gb = 1.3;
+    double ssd_kg_per_tb = 160.0;
+
+    [[nodiscard]] static EmbodiedFactors defaults() noexcept { return {}; }
+};
+
+/// Extra per-node information the estimator needs beyond NodeSpec.
+/// `platform_overhead_kg` is the per-node share of chassis, mainboard, power
+/// delivery and (for clusters) fabric/storage infrastructure.
+struct EmbodiedInput {
+    NodeSpec node;
+    double platform_overhead_kg = 200.0;
+};
+
+/// Itemized estimate, so benches can print the SCARIF-style breakdown.
+struct EmbodiedEstimate {
+    double platform_kg = 0.0;
+    double cpu_kg = 0.0;
+    double dram_kg = 0.0;
+    double ssd_kg = 0.0;
+    double gpu_kg = 0.0;
+
+    [[nodiscard]] double total_kg() const noexcept {
+        return platform_kg + cpu_kg + dram_kg + ssd_kg + gpu_kg;
+    }
+    [[nodiscard]] double total_g() const noexcept { return total_kg() * 1000.0; }
+};
+
+/// Runs the component model.
+[[nodiscard]] EmbodiedEstimate estimate_embodied(
+    const EmbodiedInput& input, const EmbodiedFactors& factors = {});
+
+}  // namespace ga::machine

@@ -1,0 +1,66 @@
+#include "machine/perf.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ga::machine {
+
+ExecutionEstimate CpuPerfModel::execute(const WorkProfile& profile,
+                                        const NodeSpec& node,
+                                        int cores_used) const {
+    GA_REQUIRE(cores_used >= 1, "perf: cores_used must be positive");
+    GA_REQUIRE(cores_used <= node.total_cores(),
+               "perf: cores_used exceeds node capacity");
+    GA_REQUIRE(profile.flops >= 0.0 && profile.mem_bytes >= 0.0,
+               "perf: negative work profile");
+    GA_REQUIRE(profile.parallel_fraction >= 0.0 && profile.parallel_fraction <= 1.0,
+               "perf: parallel fraction must be in [0,1]");
+
+    // --- single-core roofline (with all-core throttling) ---
+    const int total = node.total_cores();
+    const double occupancy =
+        total > 1 ? static_cast<double>(cores_used - 1) /
+                        static_cast<double>(total - 1)
+                  : 0.0;
+    const double throttle = 1.0 - node.cpu.allcore_throttle * occupancy;
+    const double core_flops =
+        node.cpu.sustained_gflops_per_core * throttle * 1e9;
+    // Memory bandwidth is provisioned with the cores: a task holding k of N
+    // cores gets k/N of the node bandwidth (fair-share, as cgroup-managed
+    // clusters approximate).
+    const double node_bw =
+        node.cpu.mem_bw_gbs * static_cast<double>(node.sockets) * 1e9;
+    const double core_bw = node_bw / static_cast<double>(node.total_cores());
+
+    const double t_compute_1 = profile.flops / core_flops;
+    const double t_memory_1 = profile.mem_bytes / core_bw;
+    const double t1 = std::max(t_compute_1, t_memory_1);
+
+    // --- Amdahl scaling over the provisioned cores ---
+    const double p = profile.parallel_fraction;
+    const double n = static_cast<double>(cores_used);
+    const double t = t1 * ((1.0 - p) + p / n);
+
+    ExecutionEstimate out;
+    out.seconds = t;
+    // Compute intensity decides how hard the cores work: memory-bound code
+    // stalls and draws less than compute-bound code.
+    const double intensity = t1 > 0.0 ? t_compute_1 / t1 : 1.0;
+    out.activity =
+        options_.memory_bound_activity + (1.0 - options_.memory_bound_activity) * intensity;
+    const double active_w =
+        n * node.cpu.active_watts_per_core * out.activity;
+    out.joules = active_w * t;
+    out.avg_watts = t > 0.0 ? out.joules / t : 0.0;
+    out.idle_share_j =
+        node.idle_w() * (n / static_cast<double>(node.total_cores())) * t;
+    return out;
+}
+
+double CpuPerfModel::joules_per_flop(const NodeSpec& node) noexcept {
+    const double core_flops = node.cpu.sustained_gflops_per_core * 1e9;
+    return node.cpu.active_watts_per_core / core_flops;
+}
+
+}  // namespace ga::machine

@@ -1,0 +1,14 @@
+#include "machine/spec.hpp"
+
+namespace ga::machine {
+
+std::string_view to_string(Vendor v) noexcept {
+    switch (v) {
+        case Vendor::Intel: return "Intel";
+        case Vendor::Amd: return "AMD";
+        case Vendor::Nvidia: return "Nvidia";
+    }
+    return "unknown";
+}
+
+}  // namespace ga::machine

@@ -1,0 +1,94 @@
+// Hardware descriptions for the machines the paper measures and simulates.
+//
+// A NodeSpec is the unit of accounting: the paper's EBA charges against the
+// processor TDP of the provisioned share of a node, and CBA charges a share
+// of the node's embodied carbon.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ga::machine {
+
+/// Processor vendor (affects nothing functionally; kept for reporting).
+enum class Vendor { Intel, Amd, Nvidia };
+
+[[nodiscard]] std::string_view to_string(Vendor v) noexcept;
+
+/// One CPU socket.
+///
+/// `sustained_gflops_per_core` and `active_watts_per_core` are *effective*
+/// values calibrated against the paper's measurements (Table 1, Fig. 4);
+/// they encode both microarchitecture and the achievable fraction of peak
+/// for the benchmark suite.
+struct CpuSpec {
+    std::string model;
+    Vendor vendor = Vendor::Intel;
+    int year = 2020;                      ///< release year
+    int cores = 1;                        ///< physical cores per socket
+    double tdp_w = 100.0;                 ///< socket thermal design power
+    double idle_w = 20.0;                 ///< socket idle power
+    double sustained_gflops_per_core = 10.0;
+    double active_watts_per_core = 5.0;   ///< incremental power of one busy core
+    double mem_bw_gbs = 100.0;            ///< socket memory bandwidth (GB/s)
+    double peak_score_per_thread = 1.0;   ///< PassMark-like per-thread peak
+                                          ///< rating: the "Peak" accounting rate
+    /// All-core frequency throttling: fraction of the single-core sustained
+    /// rate LOST when every core is busy (TDP-limited desktop parts lose far
+    /// more than server parts). Effective per-core rate at n busy cores is
+    /// sustained * (1 - allcore_throttle * (n-1)/(cores_total-1)).
+    double allcore_throttle = 0.12;
+};
+
+/// One GPU device (Table 2 population).
+struct GpuSpec {
+    std::string model;
+    int year = 2020;
+    double gflops = 10000.0;    ///< manufacturer-reported SP GFlop/s
+    double tdp_w = 250.0;
+    double idle_w = 30.0;
+    double mem_gb = 16.0;
+    double pcie_gbs = 12.0;     ///< host<->device bandwidth per GPU
+    double embodied_kg = 150.0; ///< device-only embodied carbon (SCARIF-like)
+};
+
+/// A node: one or more identical CPU sockets, optional identical GPUs.
+struct NodeSpec {
+    std::string name;            ///< e.g. "Desktop", "Cascade Lake", "FASTER"
+    CpuSpec cpu;
+    int sockets = 1;
+    int gpu_count = 0;
+    GpuSpec gpu;                 ///< meaningful only when gpu_count > 0
+    double dram_gb = 128.0;
+    double ssd_tb = 1.0;
+    int year_deployed = 2021;    ///< when the machine entered service
+    double node_idle_w = 0.0;    ///< measured all-socket idle; 0 -> derive
+
+    [[nodiscard]] int total_cores() const noexcept { return cpu.cores * sockets; }
+
+    /// Total CPU TDP across sockets (the paper's "CPU TDP" column).
+    [[nodiscard]] double total_cpu_tdp_w() const noexcept {
+        return cpu.tdp_w * sockets;
+    }
+
+    /// TDP attributed to one provisioned core — EBA's potential-use term for
+    /// per-core provisioned jobs (green-ACCESS provisions CPUs by core).
+    [[nodiscard]] double tdp_per_core_w() const noexcept {
+        return total_cpu_tdp_w() / static_cast<double>(total_cores());
+    }
+
+    /// Idle power of the whole node (explicit measurement when provided).
+    [[nodiscard]] double idle_w() const noexcept {
+        return node_idle_w > 0.0 ? node_idle_w
+                                 : cpu.idle_w * sockets +
+                                       gpu.idle_w * gpu_count;
+    }
+
+    /// Machine age in (fractional) years at an absolute year.
+    [[nodiscard]] double age_years(double at_year) const noexcept {
+        const double age = at_year - static_cast<double>(year_deployed);
+        return age > 0.0 ? age : 0.0;
+    }
+};
+
+}  // namespace ga::machine

@@ -1,0 +1,114 @@
+#include "sim/policy.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ga::sim {
+
+std::string_view to_string(Policy p) noexcept {
+    switch (p) {
+        case Policy::Greedy: return "Greedy";
+        case Policy::Energy: return "Energy";
+        case Policy::Mixed: return "Mixed";
+        case Policy::Eft: return "EFT";
+        case Policy::Runtime: return "Runtime";
+        case Policy::FixedTheta: return "Theta";
+        case Policy::FixedIc: return "IC";
+        case Policy::FixedFaster: return "FASTER";
+    }
+    return "unknown";
+}
+
+const std::vector<Policy>& all_policies() {
+    static const std::vector<Policy> policies = {
+        Policy::Greedy, Policy::Energy,     Policy::Mixed,
+        Policy::Eft,    Policy::Runtime,    Policy::FixedTheta,
+        Policy::FixedIc, Policy::FixedFaster};
+    return policies;
+}
+
+const std::vector<Policy>& multi_machine_policies() {
+    static const std::vector<Policy> policies = {
+        Policy::Greedy, Policy::Energy, Policy::Mixed, Policy::Eft,
+        Policy::Runtime};
+    return policies;
+}
+
+namespace {
+
+/// Index of the feasible choice minimizing `key`; nullopt if none feasible.
+template <typename KeyFn>
+std::optional<std::size_t> argmin(const std::vector<MachineChoice>& choices,
+                                  KeyFn key) {
+    std::optional<std::size_t> best;
+    double best_key = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+        if (!choices[i].feasible) continue;
+        const double k = key(choices[i]);
+        if (k < best_key) {
+            best_key = k;
+            best = i;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+std::string_view fixed_machine_name(Policy p) noexcept {
+    switch (p) {
+        case Policy::FixedTheta: return "Theta";
+        case Policy::FixedIc: return "IC";
+        case Policy::FixedFaster: return "FASTER";
+        default: return "";
+    }
+}
+
+std::optional<std::size_t> choose_machine(Policy policy,
+                                          const std::vector<MachineChoice>& choices,
+                                          double mixed_threshold,
+                                          std::optional<std::size_t> fixed_index) {
+    GA_REQUIRE(!choices.empty(), "policy: no machines to choose from");
+    GA_REQUIRE(mixed_threshold >= 1.0, "policy: mixed threshold must be >= 1");
+
+    auto completion = [](const MachineChoice& c) {
+        return c.queue_wait_s + c.runtime_s;
+    };
+
+    switch (policy) {
+        case Policy::Greedy:
+            return argmin(choices, [](const MachineChoice& c) { return c.cost; });
+        case Policy::Energy:
+            return argmin(choices, [](const MachineChoice& c) { return c.energy_j; });
+        case Policy::Runtime:
+            return argmin(choices,
+                          [](const MachineChoice& c) { return c.runtime_s; });
+        case Policy::Eft:
+            return argmin(choices, completion);
+        case Policy::Mixed: {
+            const auto cheapest =
+                argmin(choices, [](const MachineChoice& c) { return c.cost; });
+            if (!cheapest) return std::nullopt;
+            const auto fastest = argmin(choices, completion);
+            if (fastest && completion(choices[*fastest]) * mixed_threshold <
+                               completion(choices[*cheapest])) {
+                return fastest;
+            }
+            return cheapest;
+        }
+        case Policy::FixedTheta:
+        case Policy::FixedIc:
+        case Policy::FixedFaster: {
+            GA_REQUIRE(fixed_index.has_value(),
+                       "policy: fixed policy requires a machine index");
+            GA_REQUIRE(*fixed_index < choices.size(),
+                       "policy: fixed machine index out of range");
+            if (!choices[*fixed_index].feasible) return std::nullopt;
+            return fixed_index;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace ga::sim

@@ -1,0 +1,67 @@
+// Machine-selection policies (paper §5.3).
+//
+// Each simulated user submits every job to exactly one machine, chosen by a
+// policy from the job's per-machine predictions and the current system state
+// (queue estimates). The paper's eight policies:
+//
+//   Greedy  — cheapest machine under the active accounting method
+//   Energy  — least predicted energy
+//   Mixed   — cheapest, unless some machine finishes in half the time
+//   EFT     — earliest finish time (queue estimate + runtime)
+//   Runtime — shortest runtime
+//   Theta / IC / FASTER — always that machine
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace ga::sim {
+
+enum class Policy {
+    Greedy,
+    Energy,
+    Mixed,
+    Eft,
+    Runtime,
+    FixedTheta,
+    FixedIc,
+    FixedFaster,
+};
+
+[[nodiscard]] std::string_view to_string(Policy p) noexcept;
+
+/// All eight, in the paper's plotting order.
+[[nodiscard]] const std::vector<Policy>& all_policies();
+
+/// The five multi-machine policies (Figs 6, 7a and Table 6).
+[[nodiscard]] const std::vector<Policy>& multi_machine_policies();
+
+/// Per-machine inputs a policy chooses from.
+struct MachineChoice {
+    std::size_t machine_index = 0;
+    bool feasible = true;      ///< job fits this machine
+    double runtime_s = 0.0;    ///< predicted
+    double energy_j = 0.0;     ///< predicted
+    double cost = 0.0;         ///< under the active accounting method
+    double queue_wait_s = 0.0; ///< current backlog estimate
+};
+
+/// Applies the policy. Returns std::nullopt when no machine is feasible.
+/// `mixed_threshold` is the Mixed rule's speedup factor (paper: 2×).
+/// `fixed_index` must name the target machine for the Fixed* policies (the
+/// simulator resolves the machine name to an index).
+[[nodiscard]] std::optional<std::size_t> choose_machine(
+    Policy policy, const std::vector<MachineChoice>& choices,
+    double mixed_threshold = 2.0, std::optional<std::size_t> fixed_index = {});
+
+/// True for the always-one-machine policies.
+[[nodiscard]] constexpr bool is_fixed(Policy p) noexcept {
+    return p == Policy::FixedTheta || p == Policy::FixedIc ||
+           p == Policy::FixedFaster;
+}
+
+/// Machine name a fixed policy pins to ("" for adaptive policies).
+[[nodiscard]] std::string_view fixed_machine_name(Policy p) noexcept;
+
+}  // namespace ga::sim

@@ -1,0 +1,316 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "carbon/grids.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ga::sim {
+
+std::vector<ClusterConfig> default_clusters() {
+    using ga::machine::CatalogId;
+    return {
+        ClusterConfig{ga::machine::find(CatalogId::Faster), 32},
+        // Desktop is each user's *personal* computer (paper: "a personal
+        // computer referred to here as Desktop"): nodes = 0 means "one node
+        // per distinct trace user", resolved at simulator construction.
+        ClusterConfig{ga::machine::find(CatalogId::Desktop), 0},
+        ClusterConfig{ga::machine::find(CatalogId::InstitutionalCluster), 40},
+        ClusterConfig{ga::machine::find(CatalogId::Theta), 64},
+    };
+}
+
+BatchSimulator::BatchSimulator(ga::workload::Workload workload,
+                               std::vector<ClusterConfig> clusters)
+    : workload_(std::move(workload)), clusters_(std::move(clusters)) {
+    GA_REQUIRE(!clusters_.empty(), "simulator: need at least one cluster");
+    GA_REQUIRE(workload_.predictor != nullptr, "simulator: workload lacks predictor");
+
+    // Resolve "one node per user" clusters (personal desktops). Note the
+    // one-running-job-per-(user, cluster) rule makes per-user capacity
+    // equivalent to everyone owning one such machine.
+    std::uint32_t max_user = 0;
+    for (const auto& j : workload_.jobs) max_user = std::max(max_user, j.user);
+    for (auto& c : clusters_) {
+        if (c.nodes == 0) c.nodes = static_cast<int>(max_user) + 1;
+    }
+
+    // Precompute per-job, per-cluster predictions. Predictions depend only on
+    // the job's counters; repetitions share counters, so memoize per (user,
+    // app).
+    const std::size_t n_jobs = workload_.jobs.size();
+    const std::size_t n_clusters = clusters_.size();
+    pred_runtime_.resize(n_jobs * n_clusters);
+    pred_power_.resize(n_jobs * n_clusters);
+    work_.resize(n_jobs);
+
+    // Map cluster -> predictor machine index (the predictor was trained on
+    // the simulation machine set).
+    std::vector<std::size_t> pred_index(n_clusters);
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+        pred_index[c] =
+            workload_.predictor->machine_index(clusters_[c].entry.node.name);
+    }
+
+    std::map<std::pair<std::uint32_t, std::uint32_t>,
+             std::vector<ga::workload::MachineScaling>>
+        scaling_cache;
+    for (std::size_t j = 0; j < n_jobs; ++j) {
+        const auto& job = workload_.jobs[j];
+        const auto key = std::make_pair(job.user, job.app);
+        auto it = scaling_cache.find(key);
+        if (it == scaling_cache.end()) {
+            it = scaling_cache
+                     .emplace(key, workload_.predictor->predict(job.counters))
+                     .first;
+        }
+        const auto& scaling = *it;
+        double work_sum = 0.0;
+        std::size_t feasible = 0;
+        for (std::size_t c = 0; c < n_clusters; ++c) {
+            const auto& s = scaling.second[pred_index[c]];
+            const double runtime = job.runtime_ic_s * s.runtime_factor;
+            const double power = job.power_ic_w * s.power_factor;
+            pred_runtime_[j * n_clusters + c] = runtime;
+            pred_power_[j * n_clusters + c] = power;
+            if (job.cores <= clusters_[c].total_cores()) {
+                work_sum += ga::util::core_hours(job.cores, runtime);
+                ++feasible;
+            }
+        }
+        work_[j] = feasible > 0 ? work_sum / static_cast<double>(feasible) : 0.0;
+    }
+}
+
+double BatchSimulator::job_work_core_hours(std::size_t job_index) const {
+    GA_REQUIRE(job_index < work_.size(), "simulator: job index out of range");
+    return work_[job_index];
+}
+
+namespace {
+
+/// Discrete-event types.
+enum class EventType { Submit, Finish };
+
+struct Event {
+    double time = 0.0;
+    EventType type = EventType::Submit;
+    std::uint32_t job = 0;
+    std::uint32_t cluster = 0;
+
+    bool operator>(const Event& other) const noexcept {
+        if (time != other.time) return time > other.time;
+        // Finishes before submits at equal times frees resources first.
+        if (type != other.type) return type == EventType::Submit;
+        return job > other.job;
+    }
+};
+
+/// Runtime state of one cluster.
+struct ClusterState {
+    int free_cores = 0;
+    // O(1) backlog estimate bookkeeping: sum(cores_i * end_i) and
+    // sum(cores_i) over running jobs.
+    double sum_cores_end = 0.0;
+    double running_cores = 0.0;
+    double queued_core_seconds = 0.0;
+    std::deque<std::uint32_t> queue;  // waiting job ids, FIFO with skip-ahead
+    std::unordered_set<std::uint32_t> users_running;
+
+    [[nodiscard]] double wait_estimate(double now, int total_cores) const noexcept {
+        const double running_remaining =
+            std::max(0.0, sum_cores_end - now * running_cores);
+        return (running_remaining + queued_core_seconds) /
+               static_cast<double>(total_cores);
+    }
+};
+
+}  // namespace
+
+SimResult BatchSimulator::run(const SimOptions& options) const {
+    const std::size_t n_clusters = clusters_.size();
+    const auto& jobs = workload_.jobs;
+
+    // ---- accounting setup ----
+    std::map<std::string, ga::carbon::IntensityTrace> traces;
+    if (options.regional_grids) {
+        for (const auto& c : clusters_) {
+            if (c.entry.grid_region.empty()) continue;
+            traces.emplace(c.entry.node.name,
+                           ga::carbon::synthesize(
+                               ga::carbon::region(c.entry.grid_region),
+                               /*days=*/30, options.grid_seed));
+        }
+    }
+    // CBA with the scenario's grids; also used to decompose carbon totals
+    // for Table 6 regardless of the pricing method.
+    const ga::acct::CarbonBasedAccounting cba(traces);
+    const ga::acct::EnergyBasedAccounting eba;
+    const ga::acct::Accountant& pricer =
+        options.pricing == ga::acct::Method::Cba
+            ? static_cast<const ga::acct::Accountant&>(cba)
+            : static_cast<const ga::acct::Accountant&>(eba);
+
+    // Fixed-policy target index.
+    std::optional<std::size_t> fixed_index;
+    if (is_fixed(options.policy)) {
+        const auto name = fixed_machine_name(options.policy);
+        for (std::size_t c = 0; c < n_clusters; ++c) {
+            if (clusters_[c].entry.node.name == name) fixed_index = c;
+        }
+        GA_REQUIRE(fixed_index.has_value(),
+                   "simulator: fixed policy machine not deployed");
+    }
+
+    // ---- state ----
+    std::vector<ClusterState> state(n_clusters);
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+        state[c].free_cores = clusters_[c].total_cores();
+    }
+    std::vector<std::uint32_t> assigned_cluster(jobs.size(), 0);
+    double budget_remaining =
+        options.budget > 0.0 ? options.budget
+                             : std::numeric_limits<double>::infinity();
+
+    SimResult result;
+    result.finish_times_s.reserve(jobs.size());
+    for (const auto& c : clusters_) {
+        result.jobs_per_machine[c.entry.node.name] = 0;
+    }
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    for (const auto& job : jobs) {
+        events.push(Event{job.submit_s, EventType::Submit, job.id, 0});
+    }
+
+    auto job_usage = [&](std::uint32_t j, std::size_t c,
+                         double submit_time) {
+        ga::acct::JobUsage usage;
+        usage.duration_s = pred_runtime_[j * n_clusters + c];
+        usage.energy_j = usage.duration_s * pred_power_[j * n_clusters + c];
+        usage.cores = jobs[j].cores;
+        usage.submit_time_s = submit_time;
+        return usage;
+    };
+
+    // Starts a job on cluster c at time `now` (resources already checked).
+    auto start_job = [&](std::uint32_t j, std::size_t c, double now) {
+        const double runtime = pred_runtime_[j * n_clusters + c];
+        ClusterState& cs = state[c];
+        cs.free_cores -= jobs[j].cores;
+        cs.users_running.insert(jobs[j].user);
+        cs.sum_cores_end += static_cast<double>(jobs[j].cores) * (now + runtime);
+        cs.running_cores += static_cast<double>(jobs[j].cores);
+        events.push(Event{now + runtime, EventType::Finish, j,
+                          static_cast<std::uint32_t>(c)});
+    };
+
+    // Tries to start queued jobs on cluster c (FIFO with skip-ahead past
+    // jobs blocked by the one-job-per-user rule or core shortage). The
+    // skip-ahead window is bounded like a real scheduler's backfill depth,
+    // which also bounds the per-event cost on deep queues.
+    constexpr std::size_t kBackfillDepth = 256;
+    auto drain_queue = [&](std::size_t c, double now) {
+        ClusterState& cs = state[c];
+        std::size_t scanned = 0;
+        for (auto it = cs.queue.begin();
+             it != cs.queue.end() && scanned < kBackfillDepth; ++scanned) {
+            const std::uint32_t j = *it;
+            if (jobs[j].cores <= cs.free_cores &&
+                cs.users_running.find(jobs[j].user) == cs.users_running.end()) {
+                cs.queued_core_seconds -= static_cast<double>(jobs[j].cores) *
+                                          pred_runtime_[j * n_clusters + c];
+                it = cs.queue.erase(it);
+                start_job(j, c, now);
+            } else {
+                ++it;
+            }
+        }
+    };
+
+    while (!events.empty()) {
+        const Event ev = events.top();
+        events.pop();
+        const double now = ev.time;
+
+        if (ev.type == EventType::Finish) {
+            const std::size_t c = ev.cluster;
+            const std::uint32_t j = ev.job;
+            ClusterState& cs = state[c];
+            cs.free_cores += jobs[j].cores;
+            cs.users_running.erase(jobs[j].user);
+            const double runtime = pred_runtime_[j * n_clusters + c];
+            cs.sum_cores_end -= static_cast<double>(jobs[j].cores) * now;
+            // `now` equals start + runtime, so subtracting cores*now removes
+            // exactly the cores*end contribution.
+            (void)runtime;
+            cs.running_cores -= static_cast<double>(jobs[j].cores);
+
+            // ---- metrics at completion ----
+            const auto usage = job_usage(j, c, jobs[j].submit_s);
+            ++result.jobs_completed;
+            result.work_core_hours += work_[j];
+            result.energy_mwh += usage.energy_j / ga::util::kJoulesPerKwh / 1000.0;
+            result.operational_carbon_kg +=
+                cba.operational_g(usage, clusters_[c].entry) / 1000.0;
+            result.attributed_carbon_kg +=
+                cba.charge(usage, clusters_[c].entry) / 1000.0;
+            result.finish_times_s.push_back(now);
+            result.makespan_s = std::max(result.makespan_s, now);
+            ++result.jobs_per_machine[clusters_[c].entry.node.name];
+
+            drain_queue(c, now);
+            continue;
+        }
+
+        // ---- submit: route through the policy ----
+        const std::uint32_t j = ev.job;
+        std::vector<MachineChoice> choices(n_clusters);
+        for (std::size_t c = 0; c < n_clusters; ++c) {
+            MachineChoice& ch = choices[c];
+            ch.machine_index = c;
+            ch.feasible = jobs[j].cores <= clusters_[c].total_cores();
+            if (!ch.feasible) continue;
+            ch.runtime_s = pred_runtime_[j * n_clusters + c];
+            ch.energy_j = ch.runtime_s * pred_power_[j * n_clusters + c];
+            ch.queue_wait_s = state[c].wait_estimate(now, clusters_[c].total_cores());
+            ch.cost = pricer.charge(job_usage(j, c, now), clusters_[c].entry);
+        }
+        const auto chosen =
+            choose_machine(options.policy, choices, options.mixed_threshold,
+                           fixed_index);
+        if (!chosen) {
+            ++result.jobs_skipped;
+            continue;
+        }
+        const std::size_t c = *chosen;
+        if (choices[c].cost > budget_remaining) {
+            ++result.jobs_skipped;
+            continue;
+        }
+        budget_remaining -= choices[c].cost;
+        result.total_cost += choices[c].cost;
+        assigned_cluster[j] = static_cast<std::uint32_t>(c);
+
+        ClusterState& cs = state[c];
+        if (jobs[j].cores <= cs.free_cores &&
+            cs.users_running.find(jobs[j].user) == cs.users_running.end() &&
+            cs.queue.empty()) {
+            start_job(j, c, now);
+        } else {
+            cs.queue.push_back(j);
+            cs.queued_core_seconds += static_cast<double>(jobs[j].cores) *
+                                      pred_runtime_[j * n_clusters + c];
+        }
+    }
+
+    std::sort(result.finish_times_s.begin(), result.finish_times_s.end());
+    return result;
+}
+
+}  // namespace ga::sim

@@ -1,0 +1,77 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace ga::stats {
+
+namespace {
+
+std::pair<double, double> percentile_bounds(std::vector<double>& replicates,
+                                            double confidence) {
+    std::sort(replicates.begin(), replicates.end());
+    const double alpha = (1.0 - confidence) / 2.0;
+    auto pick = [&replicates](double q) {
+        const double pos = q * static_cast<double>(replicates.size() - 1);
+        const auto lo = static_cast<std::size_t>(pos);
+        const auto hi = std::min(lo + 1, replicates.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        return replicates[lo] * (1.0 - frac) + replicates[hi] * frac;
+    };
+    return {pick(alpha), pick(1.0 - alpha)};
+}
+
+}  // namespace
+
+BootstrapCi bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t n_resamples, double confidence, ga::util::Rng& rng) {
+    GA_REQUIRE(!sample.empty(), "bootstrap: empty sample");
+    GA_REQUIRE(n_resamples >= 10, "bootstrap: need at least 10 resamples");
+    GA_REQUIRE(confidence > 0.0 && confidence < 1.0,
+               "bootstrap: confidence must be in (0,1)");
+
+    BootstrapCi ci;
+    ci.point = statistic(sample);
+    std::vector<double> replicates(n_resamples);
+    std::vector<double> resample(sample.size());
+    for (std::size_t b = 0; b < n_resamples; ++b) {
+        for (auto& v : resample) {
+            v = sample[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(sample.size()) - 1))];
+        }
+        replicates[b] = statistic(resample);
+    }
+    std::tie(ci.lo, ci.hi) = percentile_bounds(replicates, confidence);
+    return ci;
+}
+
+BootstrapCi bootstrap_mean_diff(std::span<const double> a, std::span<const double> b,
+                                std::size_t n_resamples, double confidence,
+                                ga::util::Rng& rng) {
+    GA_REQUIRE(!a.empty() && !b.empty(), "bootstrap_mean_diff: empty group");
+    BootstrapCi ci;
+    ci.point = mean(a) - mean(b);
+    std::vector<double> replicates(n_resamples);
+    std::vector<double> ra(a.size());
+    std::vector<double> rb(b.size());
+    for (std::size_t rep = 0; rep < n_resamples; ++rep) {
+        for (auto& v : ra) {
+            v = a[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(a.size()) - 1))];
+        }
+        for (auto& v : rb) {
+            v = b[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(b.size()) - 1))];
+        }
+        replicates[rep] = mean(ra) - mean(rb);
+    }
+    std::tie(ci.lo, ci.hi) = percentile_bounds(replicates, confidence);
+    return ci;
+}
+
+}  // namespace ga::stats

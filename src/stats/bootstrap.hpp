@@ -1,0 +1,34 @@
+// Nonparametric bootstrap confidence intervals for the user-study effect
+// sizes (the paper reports means over 207 game instances).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace ga::stats {
+
+/// Percentile bootstrap CI for an arbitrary statistic of one sample.
+struct BootstrapCi {
+    double point = 0.0;  ///< statistic on the original sample
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/// Computes a two-sided percentile CI at the given confidence level
+/// (e.g. 0.95) using `n_resamples` bootstrap replicates.
+[[nodiscard]] BootstrapCi bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t n_resamples, double confidence, ga::util::Rng& rng);
+
+/// Bootstrap p-value-style CI on the difference of means of two samples
+/// (positive when a > b).
+[[nodiscard]] BootstrapCi bootstrap_mean_diff(std::span<const double> a,
+                                              std::span<const double> b,
+                                              std::size_t n_resamples,
+                                              double confidence,
+                                              ga::util::Rng& rng);
+
+}  // namespace ga::stats

@@ -1,0 +1,71 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace ga::stats {
+
+namespace {
+
+std::vector<double> midranks(std::span<const double> xs) {
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&xs](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+    std::vector<double> ranks(n);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+        const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+        for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+}  // namespace
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+    GA_REQUIRE(x.size() == y.size(), "pearson: length mismatch");
+    GA_REQUIRE(x.size() >= 2, "pearson: need at least two points");
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    GA_REQUIRE(sxx > 0.0 && syy > 0.0, "pearson: degenerate variance");
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+    GA_REQUIRE(x.size() == y.size(), "spearman: length mismatch");
+    const auto rx = midranks(x);
+    const auto ry = midranks(y);
+    return pearson(rx, ry);
+}
+
+double pearson_p_value(double r, std::size_t n) {
+    GA_REQUIRE(n >= 3, "pearson_p_value: need at least three samples");
+    const double df = static_cast<double>(n - 2);
+    const double denom = 1.0 - r * r;
+    if (denom <= 0.0) return 0.0;
+    const double t = r * std::sqrt(df / denom);
+    return t_two_sided_p(t, df);
+}
+
+}  // namespace ga::stats

@@ -1,0 +1,20 @@
+// Correlation measures for Figure 10 (run-probability vs job energy) and the
+// ablation analyses.
+#pragma once
+
+#include <span>
+
+namespace ga::stats {
+
+/// Pearson product-moment correlation; requires n >= 2 and non-degenerate
+/// variance in both series.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (midranks for ties).
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Two-sided p-value for a Pearson correlation of n samples under the
+/// t-distribution null.
+[[nodiscard]] double pearson_p_value(double r, std::size_t n);
+
+}  // namespace ga::stats

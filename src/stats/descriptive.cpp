@@ -1,0 +1,103 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ga::stats {
+
+double sum(std::span<const double> xs) noexcept {
+    // Neumaier's variant of compensated summation: unlike plain Kahan it
+    // stays exact when a term exceeds the running total in magnitude.
+    double total = 0.0;
+    double comp = 0.0;
+    for (const double x : xs) {
+        const double t = total + x;
+        if (std::abs(total) >= std::abs(x)) {
+            comp += (total - t) + x;
+        } else {
+            comp += (x - t) + total;
+        }
+        total = t;
+    }
+    return total + comp;
+}
+
+double mean(std::span<const double> xs) {
+    GA_REQUIRE(!xs.empty(), "mean of empty span");
+    return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+    GA_REQUIRE(xs.size() >= 2, "variance needs at least two samples");
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (const double x : xs) acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+    GA_REQUIRE(!xs.empty(), "min of empty span");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+    GA_REQUIRE(!xs.empty(), "max of empty span");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+    GA_REQUIRE(!xs.empty(), "quantile of empty span");
+    GA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - std::floor(pos);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+Summary summarize(std::span<const double> xs) {
+    GA_REQUIRE(!xs.empty(), "summarize of empty span");
+    Summary s;
+    s.count = xs.size();
+    s.mean = mean(xs);
+    s.stddev = xs.size() >= 2 ? stddev(xs) : 0.0;
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+    auto interp = [&sorted](double q) {
+        const double pos = q * static_cast<double>(sorted.size() - 1);
+        const auto lo = static_cast<std::size_t>(std::floor(pos));
+        const auto hi = static_cast<std::size_t>(std::ceil(pos));
+        const double frac = pos - std::floor(pos);
+        return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    };
+    s.q25 = interp(0.25);
+    s.median = interp(0.5);
+    s.q75 = interp(0.75);
+    return s;
+}
+
+void RunningStats::add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace ga::stats

@@ -1,0 +1,65 @@
+// Descriptive statistics over spans of doubles.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ga::stats {
+
+/// Arithmetic mean; requires a non-empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); requires n >= 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Sample standard deviation; requires n >= 2.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Minimum / maximum; require a non-empty span.
+[[nodiscard]] double min(std::span<const double> xs);
+[[nodiscard]] double max(std::span<const double> xs);
+
+/// Sum (Kahan-compensated: workloads sum millions of per-job joules and the
+/// policy comparisons are percent-level, so naive summation drift matters).
+[[nodiscard]] double sum(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated quantile, q in [0, 1]; requires a non-empty span.
+/// Copies and sorts internally.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Median, i.e. quantile(xs, 0.5).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Summary bundle produced in one pass (plus a sort for the quantiles).
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  ///< 0 when count < 2
+    double min = 0.0;
+    double q25 = 0.0;
+    double median = 0.0;
+    double q75 = 0.0;
+    double max = 0.0;
+};
+
+/// Computes the full summary; requires a non-empty span.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Unbiased sample variance; 0 when fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+}  // namespace ga::stats

@@ -1,0 +1,98 @@
+#include "stats/hypothesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace ga::stats {
+
+TestResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+    GA_REQUIRE(a.size() >= 2 && b.size() >= 2, "welch_t_test: need >=2 per group");
+    const double ma = mean(a);
+    const double mb = mean(b);
+    const double va = variance(a) / static_cast<double>(a.size());
+    const double vb = variance(b) / static_cast<double>(b.size());
+    const double se2 = va + vb;
+    GA_REQUIRE(se2 > 0.0, "welch_t_test: zero variance in both groups");
+
+    TestResult r;
+    r.statistic = (ma - mb) / std::sqrt(se2);
+    // Welch–Satterthwaite degrees of freedom.
+    const double df_num = se2 * se2;
+    const double df_den = va * va / static_cast<double>(a.size() - 1) +
+                          vb * vb / static_cast<double>(b.size() - 1);
+    r.df = df_num / df_den;
+    r.p_value = t_two_sided_p(r.statistic, r.df);
+    return r;
+}
+
+TestResult mann_whitney_u(std::span<const double> a, std::span<const double> b) {
+    GA_REQUIRE(!a.empty() && !b.empty(), "mann_whitney_u: empty group");
+    struct Tagged {
+        double value;
+        int group;  // 0 = a, 1 = b
+    };
+    std::vector<Tagged> all;
+    all.reserve(a.size() + b.size());
+    for (const double x : a) all.push_back({x, 0});
+    for (const double x : b) all.push_back({x, 1});
+    std::sort(all.begin(), all.end(),
+              [](const Tagged& l, const Tagged& r) { return l.value < r.value; });
+
+    // Midranks with tie bookkeeping.
+    const std::size_t n = all.size();
+    std::vector<double> ranks(n);
+    double tie_correction = 0.0;
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && all[j + 1].value == all[i].value) ++j;
+        const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+        for (std::size_t k = i; k <= j; ++k) ranks[k] = midrank;
+        const auto t = static_cast<double>(j - i + 1);
+        tie_correction += t * t * t - t;
+        i = j + 1;
+    }
+
+    double rank_sum_a = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        if (all[k].group == 0) rank_sum_a += ranks[k];
+    }
+    const auto na = static_cast<double>(a.size());
+    const auto nb = static_cast<double>(b.size());
+    const double u_a = rank_sum_a - na * (na + 1.0) / 2.0;
+    const double u = std::min(u_a, na * nb - u_a);
+
+    TestResult r;
+    r.statistic = u;
+    const double mu = na * nb / 2.0;
+    const double nn = na + nb;
+    const double sigma2 =
+        na * nb / 12.0 * ((nn + 1.0) - tie_correction / (nn * (nn - 1.0)));
+    if (sigma2 <= 0.0) {
+        r.p_value = 1.0;  // all values tied: no evidence of difference
+        return r;
+    }
+    // Continuity correction.
+    const double z = (u - mu + 0.5) / std::sqrt(sigma2);
+    r.p_value = std::min(1.0, 2.0 * normal_cdf(z));
+    return r;
+}
+
+double cohens_d(std::span<const double> a, std::span<const double> b) {
+    GA_REQUIRE(a.size() >= 2 && b.size() >= 2, "cohens_d: need >=2 per group");
+    const double va = variance(a);
+    const double vb = variance(b);
+    const double na = static_cast<double>(a.size());
+    const double nb = static_cast<double>(b.size());
+    const double pooled =
+        ((na - 1.0) * va + (nb - 1.0) * vb) / (na + nb - 2.0);
+    GA_REQUIRE(pooled > 0.0, "cohens_d: zero pooled variance");
+    return (mean(a) - mean(b)) / std::sqrt(pooled);
+}
+
+}  // namespace ga::stats

@@ -1,0 +1,29 @@
+// Hypothesis tests used by the user-study analysis (paper §6.2: "V3 is
+// significantly lower than V1 or V2 (p=0.00)").
+#pragma once
+
+#include <span>
+
+namespace ga::stats {
+
+/// Result of a two-sample location test.
+struct TestResult {
+    double statistic = 0.0;
+    double p_value = 1.0;
+    double df = 0.0;  ///< degrees of freedom (Welch) or 0 when not applicable
+};
+
+/// Welch's unequal-variance t-test (two-sided). Requires >= 2 samples per
+/// group and non-zero pooled variance.
+[[nodiscard]] TestResult welch_t_test(std::span<const double> a,
+                                      std::span<const double> b);
+
+/// Mann–Whitney U test with normal approximation and tie correction
+/// (two-sided). Requires non-empty groups.
+[[nodiscard]] TestResult mann_whitney_u(std::span<const double> a,
+                                        std::span<const double> b);
+
+/// Cohen's d effect size with pooled standard deviation.
+[[nodiscard]] double cohens_d(std::span<const double> a, std::span<const double> b);
+
+}  // namespace ga::stats

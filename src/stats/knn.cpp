@@ -1,0 +1,108 @@
+#include "stats/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ga::stats {
+
+KnnRegressor::KnnRegressor(std::span<const double> features, std::size_t dim,
+                           std::span<const double> targets, std::size_t n_outputs,
+                           std::size_t k, KnnWeighting weighting)
+    : n_(dim == 0 ? 0 : features.size() / dim),
+      dim_(dim),
+      n_outputs_(n_outputs),
+      k_(k),
+      weighting_(weighting) {
+    GA_REQUIRE(dim > 0, "knn: feature dimension must be positive");
+    GA_REQUIRE(n_outputs > 0, "knn: need at least one output");
+    GA_REQUIRE(features.size() == n_ * dim, "knn: feature matrix shape mismatch");
+    GA_REQUIRE(targets.size() == n_ * n_outputs, "knn: target matrix shape mismatch");
+    GA_REQUIRE(n_ >= 1, "knn: need at least one training row");
+    GA_REQUIRE(k >= 1 && k <= n_, "knn: k must be in [1, n]");
+
+    // Fit standardization.
+    feat_mean_.assign(dim_, 0.0);
+    feat_std_.assign(dim_, 0.0);
+    for (std::size_t r = 0; r < n_; ++r) {
+        for (std::size_t d = 0; d < dim_; ++d) feat_mean_[d] += features[r * dim_ + d];
+    }
+    for (auto& v : feat_mean_) v /= static_cast<double>(n_);
+    for (std::size_t r = 0; r < n_; ++r) {
+        for (std::size_t d = 0; d < dim_; ++d) {
+            const double diff = features[r * dim_ + d] - feat_mean_[d];
+            feat_std_[d] += diff * diff;
+        }
+    }
+    for (auto& v : feat_std_) {
+        v = std::sqrt(v / static_cast<double>(std::max<std::size_t>(n_ - 1, 1)));
+        if (v <= 0.0) v = 1.0;  // constant feature: neutral scaling
+    }
+
+    features_.resize(n_ * dim_);
+    for (std::size_t r = 0; r < n_; ++r) {
+        for (std::size_t d = 0; d < dim_; ++d) {
+            features_[r * dim_ + d] =
+                (features[r * dim_ + d] - feat_mean_[d]) / feat_std_[d];
+        }
+    }
+    targets_.assign(targets.begin(), targets.end());
+}
+
+std::vector<double> KnnRegressor::standardize(std::span<const double> x) const {
+    GA_REQUIRE(x.size() == dim_, "knn: query dimension mismatch");
+    std::vector<double> q(dim_);
+    for (std::size_t d = 0; d < dim_; ++d) q[d] = (x[d] - feat_mean_[d]) / feat_std_[d];
+    return q;
+}
+
+std::vector<std::size_t> KnnRegressor::neighbors(std::span<const double> query) const {
+    const auto q = standardize(query);
+    std::vector<std::pair<double, std::size_t>> dist(n_);
+    for (std::size_t r = 0; r < n_; ++r) {
+        double d2 = 0.0;
+        for (std::size_t d = 0; d < dim_; ++d) {
+            const double diff = features_[r * dim_ + d] - q[d];
+            d2 += diff * diff;
+        }
+        dist[r] = {d2, r};
+    }
+    std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k_),
+                      dist.end());
+    std::vector<std::size_t> idx(k_);
+    for (std::size_t i = 0; i < k_; ++i) idx[i] = dist[i].second;
+    return idx;
+}
+
+std::vector<double> KnnRegressor::predict(std::span<const double> query) const {
+    const auto q = standardize(query);
+    std::vector<std::pair<double, std::size_t>> dist(n_);
+    for (std::size_t r = 0; r < n_; ++r) {
+        double d2 = 0.0;
+        for (std::size_t d = 0; d < dim_; ++d) {
+            const double diff = features_[r * dim_ + d] - q[d];
+            d2 += diff * diff;
+        }
+        dist[r] = {d2, r};
+    }
+    std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k_),
+                      dist.end());
+
+    std::vector<double> out(n_outputs_, 0.0);
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < k_; ++i) {
+        const double d = std::sqrt(dist[i].first);
+        const double w =
+            weighting_ == KnnWeighting::Uniform ? 1.0 : 1.0 / (1e-9 + d);
+        weight_sum += w;
+        const std::size_t r = dist[i].second;
+        for (std::size_t o = 0; o < n_outputs_; ++o) {
+            out[o] += w * targets_[r * n_outputs_ + o];
+        }
+    }
+    for (auto& v : out) v /= weight_sum;
+    return out;
+}
+
+}  // namespace ga::stats

@@ -1,0 +1,66 @@
+// K-nearest-neighbour regression.
+//
+// The paper (§5.2) adapts Pham et al.'s two-stage method: a KNN trained on a
+// set of benchmark applications predicts runtime and power on target
+// machines from a job's hardware-counter profile. This KNN standardizes
+// features (z-score) and supports inverse-distance weighting.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace ga::stats {
+
+/// Weighting of the k neighbours.
+enum class KnnWeighting {
+    Uniform,          ///< plain average of the k nearest targets
+    InverseDistance,  ///< weights 1/(eps + d)
+};
+
+/// KNN regressor with multiple output targets per training row.
+class KnnRegressor {
+public:
+    /// `features`: row-major n×dim. `targets`: row-major n×n_outputs.
+    KnnRegressor(std::span<const double> features, std::size_t dim,
+                 std::span<const double> targets, std::size_t n_outputs,
+                 std::size_t k, KnnWeighting weighting = KnnWeighting::InverseDistance);
+
+    /// Predicts all outputs for one query point.
+    [[nodiscard]] std::vector<double> predict(std::span<const double> query) const;
+
+    /// Braced-list convenience: knn.predict({1.0, 2.0}).
+    [[nodiscard]] std::vector<double> predict(
+        std::initializer_list<double> query) const {
+        return predict(std::span<const double>(query.begin(), query.size()));
+    }
+
+    /// Indices of the k nearest training rows (for diagnostics/tests).
+    [[nodiscard]] std::vector<std::size_t> neighbors(
+        std::span<const double> query) const;
+
+    [[nodiscard]] std::vector<std::size_t> neighbors(
+        std::initializer_list<double> query) const {
+        return neighbors(std::span<const double>(query.begin(), query.size()));
+    }
+
+    [[nodiscard]] std::size_t k() const noexcept { return k_; }
+    [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+private:
+    [[nodiscard]] std::vector<double> standardize(std::span<const double> x) const;
+
+    std::size_t n_;
+    std::size_t dim_;
+    std::size_t n_outputs_;
+    std::size_t k_;
+    KnnWeighting weighting_;
+    std::vector<double> features_;  ///< standardized, row-major
+    std::vector<double> targets_;
+    std::vector<double> feat_mean_;
+    std::vector<double> feat_std_;
+};
+
+}  // namespace ga::stats

@@ -1,0 +1,149 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace ga::stats {
+
+namespace {
+
+// In-place Cholesky of row-major SPD matrix `a` (n×n); returns false when the
+// matrix is not positive definite.
+bool cholesky(std::vector<double>& a, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double s = a[i * n + j];
+            for (std::size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+            if (i == j) {
+                if (s <= 0.0) return false;
+                a[i * n + j] = std::sqrt(s);
+            } else {
+                a[i * n + j] = s / a[j * n + j];
+            }
+        }
+    }
+    return true;
+}
+
+// Solves L L^T x = b given the Cholesky factor stored in the lower triangle.
+std::vector<double> cholesky_solve(const std::vector<double>& l, std::size_t n,
+                                   std::vector<double> b) {
+    // forward: L y = b
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t k = 0; k < i; ++k) s -= l[i * n + k] * b[k];
+        b[i] = s / l[i * n + i];
+    }
+    // backward: L^T x = y
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = b[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) s -= l[k * n + ii] * b[k];
+        b[ii] = s / l[ii * n + ii];
+    }
+    return b;
+}
+
+}  // namespace
+
+std::vector<double> solve_spd(std::vector<double> a, std::size_t n,
+                              std::vector<double> b) {
+    GA_REQUIRE(a.size() == n * n, "solve_spd: matrix size mismatch");
+    GA_REQUIRE(b.size() == n, "solve_spd: rhs size mismatch");
+    // Retry with growing ridge jitter: collinear counter features are common
+    // in synthetic telemetry and a tiny diagonal bump is the standard fix.
+    for (double ridge = 0.0; ridge < 1e-2; ridge = (ridge == 0.0 ? 1e-10 : ridge * 10)) {
+        std::vector<double> work = a;
+        for (std::size_t i = 0; i < n; ++i) work[i * n + i] += ridge;
+        if (cholesky(work, n)) return cholesky_solve(work, n, std::move(b));
+    }
+    throw ga::util::RuntimeError("solve_spd: matrix not positive definite");
+}
+
+double OlsFit::predict(std::span<const double> features) const {
+    GA_REQUIRE(features.size() == coefficients.size(),
+               "OlsFit::predict: feature arity mismatch");
+    double y = intercept;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        y += coefficients[i] * features[i];
+    }
+    return y;
+}
+
+OlsFit ols_fit(std::span<const double> rows, std::size_t n_features,
+               std::span<const double> y, bool with_intercept) {
+    GA_REQUIRE(n_features > 0, "ols_fit: need at least one feature");
+    GA_REQUIRE(y.size() >= n_features + (with_intercept ? 1 : 0),
+               "ols_fit: need at least as many rows as parameters");
+    GA_REQUIRE(rows.size() == y.size() * n_features, "ols_fit: design size mismatch");
+
+    const std::size_t n = y.size();
+    const std::size_t p = n_features + (with_intercept ? 1 : 0);
+
+    // Build Gram matrix X^T X and X^T y with augmented intercept column.
+    std::vector<double> gram(p * p, 0.0);
+    std::vector<double> xty(p, 0.0);
+    std::vector<double> xi(p, 1.0);  // last element stays 1 for the intercept
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t f = 0; f < n_features; ++f) xi[f] = rows[r * n_features + f];
+        for (std::size_t i = 0; i < p; ++i) {
+            xty[i] += xi[i] * y[r];
+            for (std::size_t j = 0; j <= i; ++j) gram[i * p + j] += xi[i] * xi[j];
+        }
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = i + 1; j < p; ++j) gram[i * p + j] = gram[j * p + i];
+    }
+
+    const std::vector<double> beta = solve_spd(std::move(gram), p, std::move(xty));
+
+    OlsFit fit;
+    fit.n = n;
+    fit.coefficients.assign(beta.begin(),
+                            beta.begin() + static_cast<std::ptrdiff_t>(n_features));
+    fit.intercept = with_intercept ? beta[n_features] : 0.0;
+
+    // R^2
+    const double ybar = mean(y);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        double pred = fit.intercept;
+        for (std::size_t f = 0; f < n_features; ++f) {
+            pred += fit.coefficients[f] * rows[r * n_features + f];
+        }
+        ss_res += (y[r] - pred) * (y[r] - pred);
+        ss_tot += (y[r] - ybar) * (y[r] - ybar);
+    }
+    fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+SimpleFit simple_regression(std::span<const double> x, std::span<const double> y) {
+    GA_REQUIRE(x.size() == y.size(), "simple_regression: length mismatch");
+    GA_REQUIRE(x.size() >= 2, "simple_regression: need at least two points");
+    const double xbar = mean(x);
+    const double ybar = mean(y);
+    double sxx = 0.0;
+    double sxy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sxx += (x[i] - xbar) * (x[i] - xbar);
+        sxy += (x[i] - xbar) * (y[i] - ybar);
+    }
+    GA_REQUIRE(sxx > 0.0, "simple_regression: x has zero variance");
+    SimpleFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = ybar - fit.slope * xbar;
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double pred = fit.intercept + fit.slope * x[i];
+        ss_res += (y[i] - pred) * (y[i] - pred);
+        ss_tot += (y[i] - ybar) * (y[i] - ybar);
+    }
+    fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+}  // namespace ga::stats

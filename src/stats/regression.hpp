@@ -1,0 +1,52 @@
+// Ordinary least squares — the fitting engine for the green-ACCESS power
+// model (hardware counters -> watts, paper §4.1) and for trend checks in the
+// analysis benches.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace ga::stats {
+
+/// Result of a least-squares fit y ≈ X·beta (+ intercept when requested).
+struct OlsFit {
+    std::vector<double> coefficients;  ///< one per feature
+    double intercept = 0.0;
+    double r_squared = 0.0;
+    std::size_t n = 0;
+
+    /// Applies the fitted model to one feature vector.
+    [[nodiscard]] double predict(std::span<const double> features) const;
+
+    /// Braced-list convenience: fit.predict({1.0, 2.0}).
+    [[nodiscard]] double predict(std::initializer_list<double> features) const {
+        return predict(std::span<const double>(features.begin(), features.size()));
+    }
+};
+
+/// Fits y ≈ X beta + b by solving the normal equations with a Cholesky
+/// factorization (plus a tiny ridge jitter if the Gram matrix is singular).
+///
+/// `rows` is a flattened row-major design matrix with `n_features` columns
+/// and y.size() rows.
+[[nodiscard]] OlsFit ols_fit(std::span<const double> rows, std::size_t n_features,
+                             std::span<const double> y, bool with_intercept = true);
+
+/// Convenience simple linear regression y ≈ a·x + b.
+struct SimpleFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+};
+
+[[nodiscard]] SimpleFit simple_regression(std::span<const double> x,
+                                          std::span<const double> y);
+
+/// Solves the symmetric positive definite system A x = b in-place helpers.
+/// Exposed for reuse by the GMM (covariance inversion) and tests.
+/// `a` is n×n row-major and is overwritten with its Cholesky factor.
+[[nodiscard]] std::vector<double> solve_spd(std::vector<double> a, std::size_t n,
+                                            std::vector<double> b);
+
+}  // namespace ga::stats

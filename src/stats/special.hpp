@@ -1,0 +1,20 @@
+// Special functions backing the hypothesis tests: regularized incomplete
+// beta (for Student's t CDF) and the standard normal CDF.
+#pragma once
+
+namespace ga::stats {
+
+/// Regularized incomplete beta function I_x(a, b) for a,b > 0, x in [0,1].
+/// Lentz continued-fraction evaluation, accurate to ~1e-12.
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+[[nodiscard]] double student_t_cdf(double t, double df);
+
+/// Standard normal CDF via erfc.
+[[nodiscard]] double normal_cdf(double z);
+
+/// Two-sided p-value for a t statistic.
+[[nodiscard]] double t_two_sided_p(double t, double df);
+
+}  // namespace ga::stats

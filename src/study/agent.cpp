@@ -1,0 +1,83 @@
+#include "study/agent.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace ga::study {
+
+ParticipantTraits sample_traits(ga::util::Rng& rng) {
+    ParticipantTraits t;
+    t.cost_weight = rng.lognormal(0.0, 0.35);
+    t.time_weight = rng.lognormal(-0.2, 0.40);
+    t.priority_weight = rng.uniform(0.2, 1.0);
+    t.noise = rng.uniform(0.10, 0.35);
+    t.rushed = rng.bernoulli(0.07);  // ~7% of instances played in <1 minute
+    return t;
+}
+
+namespace {
+
+/// Gumbel noise for softmax-style discrete choice.
+double gumbel(ga::util::Rng& rng) {
+    double u = 0.0;
+    do {
+        u = rng.uniform();
+    } while (u <= 0.0);
+    return -std::log(-std::log(u));
+}
+
+}  // namespace
+
+Game play_game(Version version, const ParticipantTraits& traits,
+               ga::util::Rng& rng) {
+    Game game(version);
+
+    // Rushed participants click through quickly: they schedule everything on
+    // the first machine they see and advance until done.
+    const int max_turns = 200;
+    for (int turn = 0; turn < max_turns && !game.over(); ++turn) {
+        // Try to fill every idle machine this turn.
+        for (int m = 0; m < Game::kMachines; ++m) {
+            if (!game.machine_free(m)) continue;
+            const auto visible = game.visible_jobs();
+            if (visible.empty()) break;
+
+            // Pick the (job, machine-m) pairing with the best utility; the
+            // participant evaluates the job list against this machine and
+            // also implicitly compares with other machines (by scanning all
+            // (job, machine) quotes and scheduling the best overall that
+            // lands on a free machine).
+            double best_u = -std::numeric_limits<double>::infinity();
+            int best_job = -1;
+            int best_machine = -1;
+            for (const int j : visible) {
+                for (int mm = 0; mm < Game::kMachines; ++mm) {
+                    if (!game.machine_free(mm)) continue;
+                    const JobQuote q = game.quote(j, mm);
+                    if (q.cost > game.allocation_left()) continue;
+                    const auto& job =
+                        Game::deck()[static_cast<std::size_t>(j)];
+                    double u = -traits.cost_weight * q.cost / 5.0 -
+                               traits.time_weight * q.time_ticks / 5.0 +
+                               traits.priority_weight *
+                                   static_cast<double>(job.priority) / 3.0;
+                    if (traits.rushed) {
+                        u = 0.0;  // indifferent: noise decides instantly
+                    }
+                    u += traits.noise * gumbel(rng);
+                    if (u > best_u) {
+                        best_u = u;
+                        best_job = j;
+                        best_machine = mm;
+                    }
+                }
+            }
+            if (best_job < 0) break;
+            (void)game.schedule(best_job, best_machine);
+        }
+        game.advance();
+    }
+    return game;
+}
+
+}  // namespace ga::study

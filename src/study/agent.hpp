@@ -1,0 +1,34 @@
+// Behavioral participant model for the user study.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the paper ran 90 human participants; we
+// replace them with utility-maximizing agents whose preferences include the
+// *displayed cost*, the job's *time*, and the placebo *priority* — but NOT
+// energy. This encodes the paper's empirical premise that users respond to
+// prices, not to passive energy information: V2's energy display therefore
+// changes nothing, while V3's EBA prices pull agents toward efficient
+// machines through the cost term alone. Nothing in the agent rewards saving
+// energy per se.
+#pragma once
+
+#include "study/game.hpp"
+#include "util/rng.hpp"
+
+namespace ga::study {
+
+/// Preference weights for one participant (heterogeneous across the pool).
+struct ParticipantTraits {
+    double cost_weight = 1.0;      ///< aversion to displayed cost
+    double time_weight = 1.0;      ///< urgency (deadline pressure)
+    double priority_weight = 0.6;  ///< how seriously the placebo is taken
+    double noise = 0.3;            ///< decision noise (Gumbel scale)
+    bool rushed = false;           ///< finishes in <1 min (discarded, §6.2)
+};
+
+/// Draws a random participant.
+[[nodiscard]] ParticipantTraits sample_traits(ga::util::Rng& rng);
+
+/// Plays one full game with the given traits; returns the finished game.
+[[nodiscard]] Game play_game(Version version, const ParticipantTraits& traits,
+                             ga::util::Rng& rng);
+
+}  // namespace ga::study

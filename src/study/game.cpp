@@ -1,0 +1,153 @@
+#include "study/game.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ga::study {
+
+std::string_view to_string(Version v) noexcept {
+    switch (v) {
+        case Version::V1: return "V1";
+        case Version::V2: return "V2";
+        case Version::V3: return "V3";
+    }
+    return "unknown";
+}
+
+const std::array<GameMachine, Game::kMachines>& Game::machines() {
+    // Modeled on the Table-5 machines: IC-like fast-but-hot, FASTER-like
+    // efficient, Desktop-like frugal-but-slow, Theta-like slow-and-hungry.
+    static const std::array<GameMachine, kMachines> board = {{
+        {"Machine 1 (fast)", 1.00, 1.35, 24.0},
+        {"Machine 2 (efficient)", 1.15, 0.72, 14.0},
+        {"Machine 3 (frugal)", 1.30, 0.62, 11.0},
+        {"Machine 4 (legacy)", 1.70, 1.50, 20.0},
+    }};
+    return board;
+}
+
+const std::vector<GameJob>& Game::deck() {
+    static const std::vector<GameJob> jobs = [] {
+        std::vector<GameJob> deck;
+        ga::util::Rng rng(0x6A3E5u);  // one deck for every participant
+        deck.reserve(kTotalJobs);
+        for (int i = 0; i < kTotalJobs; ++i) {
+            GameJob j;
+            j.id = i;
+            j.priority = static_cast<int>(rng.uniform_int(0, 3));
+            j.base_time = rng.uniform(6.0, 14.0);
+            j.intensity = rng.uniform(14.0, 30.0);
+            deck.push_back(j);
+        }
+        return deck;
+    }();
+    return jobs;
+}
+
+double Game::true_energy(const GameJob& job, int machine) {
+    GA_REQUIRE(machine >= 0 && machine < kMachines, "game: machine out of range");
+    const GameMachine& m = machines()[static_cast<std::size_t>(machine)];
+    return job.base_time * m.time_factor * job.intensity * m.energy_factor;
+}
+
+Game::Game(Version version) : version_(version) {
+    scheduled_.assign(deck().size(), false);
+    for (int i = 0; i < kInitialVisible; ++i) seen_.push_back(i);
+}
+
+JobQuote Game::quote(int job_id, int machine) const {
+    GA_REQUIRE(job_id >= 0 && job_id < kTotalJobs, "game: job out of range");
+    GA_REQUIRE(machine >= 0 && machine < kMachines, "game: machine out of range");
+    const GameJob& job = deck()[static_cast<std::size_t>(job_id)];
+    const GameMachine& m = machines()[static_cast<std::size_t>(machine)];
+
+    JobQuote q;
+    q.time_ticks = job.base_time * m.time_factor;
+    const double energy = true_energy(job, machine);
+    if (version_ == Version::V3) {
+        // EBA (Eq. 1) in game units: average of energy and TDP-rate
+        // potential use, scaled so budgets are comparable across versions.
+        q.cost = (energy + q.time_ticks * m.tdp) / 2.0 / 13.0;
+    } else {
+        // Status-quo cost: proportional to runtime only.
+        q.cost = q.time_ticks;
+    }
+    if (version_ != Version::V1) q.energy = energy;
+    return q;
+}
+
+std::vector<int> Game::visible_jobs() const {
+    std::vector<int> out;
+    for (const int id : seen_) {
+        if (!scheduled_[static_cast<std::size_t>(id)]) out.push_back(id);
+    }
+    return out;
+}
+
+bool Game::machine_free(int machine) const {
+    GA_REQUIRE(machine >= 0 && machine < kMachines, "game: machine out of range");
+    return running_[static_cast<std::size_t>(machine)].job_id < 0;
+}
+
+bool Game::schedule(int job_id, int machine) {
+    GA_REQUIRE(job_id >= 0 && job_id < kTotalJobs, "game: job out of range");
+    GA_REQUIRE(machine >= 0 && machine < kMachines, "game: machine out of range");
+    if (scheduled_[static_cast<std::size_t>(job_id)]) return false;
+    if (std::find(seen_.begin(), seen_.end(), job_id) == seen_.end()) return false;
+    if (!machine_free(machine)) return false;
+
+    const JobQuote q = quote(job_id, machine);
+    if (q.cost > allocation_) return false;
+
+    allocation_ -= q.cost;
+    scheduled_[static_cast<std::size_t>(job_id)] = true;
+    Running& r = running_[static_cast<std::size_t>(machine)];
+    r.job_id = job_id;
+    r.remaining = q.time_ticks;
+    r.energy = true_energy(deck()[static_cast<std::size_t>(job_id)], machine);
+
+    // Scheduling reveals the next job (time-dependent arrivals, §6.1).
+    if (next_reveal_ < kTotalJobs) {
+        seen_.push_back(next_reveal_);
+        ++next_reveal_;
+    }
+    return true;
+}
+
+void Game::advance() {
+    if (time_left_ <= 0.0) return;
+    time_left_ -= 1.0;
+    for (std::size_t m = 0; m < running_.size(); ++m) {
+        Running& r = running_[m];
+        if (r.job_id < 0) continue;
+        r.remaining -= 1.0;
+        if (r.remaining <= 1e-9) {
+            energy_used_ += r.energy;
+            ++completed_;
+            completions_.push_back(
+                CompletionRecord{r.job_id, static_cast<int>(m), r.energy});
+            r.job_id = -1;
+            r.remaining = 0.0;
+            r.energy = 0.0;
+        }
+    }
+}
+
+bool Game::over() const {
+    if (time_left_ <= 0.0) return true;
+    if (completed_ == kTotalJobs) return true;
+    // No running jobs and nothing affordable to schedule -> stuck.
+    bool any_running = false;
+    for (const auto& r : running_) any_running = any_running || r.job_id >= 0;
+    if (any_running) return false;
+    for (const int id : visible_jobs()) {
+        for (int m = 0; m < kMachines; ++m) {
+            if (quote(id, m).cost <= allocation_) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace ga::study

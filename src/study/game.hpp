@@ -1,0 +1,130 @@
+// The scheduling game of the user study (paper §6.1, Fig. 8).
+//
+// Participants play a computational scientist who must finish jobs within a
+// time limit and an allocation limit, choosing among four machines. Jobs
+// carry a placebo "priority". Three versions differ only in the cost rule
+// and what is displayed:
+//
+//   V1 — cost proportional to runtime; energy hidden (status quo).
+//   V2 — same cost as V1; energy displayed next to time and cost.
+//   V3 — cost from the EBA formula; energy displayed.
+//
+// The game is deterministic given (version, agent actions): the job list is
+// identical for every participant, as in the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ga::study {
+
+/// Game treatment arms.
+enum class Version { V1 = 1, V2 = 2, V3 = 3 };
+
+[[nodiscard]] std::string_view to_string(Version v) noexcept;
+
+/// The four machines of the game board (modeled on the simulation machines).
+struct GameMachine {
+    std::string name;
+    double time_factor = 1.0;    ///< job duration multiplier
+    double energy_factor = 1.0;  ///< job energy multiplier
+    double tdp = 18.0;           ///< EBA potential-use rate (game units/tick)
+};
+
+/// One job card.
+struct GameJob {
+    int id = 0;
+    int priority = 0;          ///< 0..3, displayed but meaningless (placebo)
+    double base_time = 10.0;   ///< ticks on the reference machine
+    double intensity = 20.0;   ///< energy per tick on the reference machine
+};
+
+/// What the UI shows for one (job, machine) cell.
+struct JobQuote {
+    double time_ticks = 0.0;
+    double cost = 0.0;
+    std::optional<double> energy;  ///< shown in V2/V3 only
+};
+
+/// Full game state machine.
+class Game {
+public:
+    static constexpr int kMachines = 4;
+    static constexpr int kTotalJobs = 20;
+    static constexpr int kInitialVisible = 6;
+    static constexpr double kTimeLimit = 50.0;
+    static constexpr double kAllocation = 160.0;
+
+    explicit Game(Version version);
+
+    /// The fixed machine board.
+    [[nodiscard]] static const std::array<GameMachine, kMachines>& machines();
+
+    /// The fixed 20-job deck (same for all participants).
+    [[nodiscard]] static const std::vector<GameJob>& deck();
+
+    /// Quote for scheduling visible job `job_id` on `machine` now.
+    [[nodiscard]] JobQuote quote(int job_id, int machine) const;
+
+    /// Ground-truth energy of a (job, machine) pair — used by the analysis,
+    /// never shown to V1 participants.
+    [[nodiscard]] static double true_energy(const GameJob& job, int machine);
+
+    /// Jobs currently schedulable.
+    [[nodiscard]] std::vector<int> visible_jobs() const;
+
+    /// Whether `machine` is free (one running job per machine).
+    [[nodiscard]] bool machine_free(int machine) const;
+
+    /// Schedules a visible job; returns false (no state change) if the
+    /// machine is busy or the allocation cannot cover the cost.
+    bool schedule(int job_id, int machine);
+
+    /// Advances time by one tick; running jobs progress and may complete.
+    void advance();
+
+    [[nodiscard]] bool over() const;
+    [[nodiscard]] Version version() const noexcept { return version_; }
+    [[nodiscard]] double time_left() const noexcept { return time_left_; }
+    [[nodiscard]] double allocation_left() const noexcept { return allocation_; }
+    [[nodiscard]] double energy_used() const noexcept { return energy_used_; }
+    [[nodiscard]] int jobs_completed() const noexcept { return completed_; }
+
+    /// (job, machine) of every completed job, for the per-job analyses.
+    struct CompletionRecord {
+        int job_id = 0;
+        int machine = 0;
+        double energy = 0.0;
+    };
+    [[nodiscard]] const std::vector<CompletionRecord>& completions() const noexcept {
+        return completions_;
+    }
+
+    /// Job ids the participant has seen (denominator of Fig. 10).
+    [[nodiscard]] const std::vector<int>& seen_jobs() const noexcept {
+        return seen_;
+    }
+
+private:
+    struct Running {
+        int job_id = -1;
+        double remaining = 0.0;
+        double energy = 0.0;
+    };
+
+    Version version_;
+    double time_left_ = kTimeLimit;
+    double allocation_ = kAllocation;
+    double energy_used_ = 0.0;
+    int completed_ = 0;
+    int next_reveal_ = kInitialVisible;
+    std::vector<bool> scheduled_;               ///< by job id
+    std::array<Running, kMachines> running_{};
+    std::vector<CompletionRecord> completions_;
+    std::vector<int> seen_;
+};
+
+}  // namespace ga::study

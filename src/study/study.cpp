@@ -1,0 +1,106 @@
+#include "study/study.hpp"
+
+#include "util/error.hpp"
+
+namespace ga::study {
+
+namespace {
+
+Version random_version(ga::util::Rng& rng) {
+    return static_cast<Version>(rng.uniform_int(1, 3));
+}
+
+}  // namespace
+
+StudyResults run_study(const StudyOptions& options) {
+    GA_REQUIRE(options.participants >= 1, "study: need participants");
+    GA_REQUIRE(options.min_plays >= 2, "study: first play is always discarded");
+
+    StudyResults results;
+    ga::util::Rng root(options.seed);
+
+    for (std::size_t p = 0; p < options.participants; ++p) {
+        ga::util::Rng rng = root.split(p + 1);
+        const ParticipantTraits traits = sample_traits(rng);
+        Version version = random_version(rng);
+
+        const int plays =
+            options.min_plays +
+            static_cast<int>(rng.uniform_int(0, options.max_extra_plays));
+        for (int play = 0; play < plays; ++play) {
+            // The version persists between the first and second play, then is
+            // randomized (paper §6.1).
+            if (play >= 2) version = random_version(rng);
+            const Game game = play_game(version, traits, rng);
+            if (play == 0) {
+                ++results.discarded_first_plays;  // familiarization play
+                continue;
+            }
+            if (traits.rushed && rng.bernoulli(0.8)) {
+                ++results.discarded_rushed;  // finished in under a minute
+                continue;
+            }
+            InstanceRecord rec;
+            rec.version = version;
+            rec.participant = static_cast<std::uint32_t>(p);
+            rec.energy_used = game.energy_used();
+            rec.jobs_completed = game.jobs_completed();
+            rec.completions = game.completions();
+            rec.seen_jobs = game.seen_jobs();
+            results.instances.push_back(std::move(rec));
+        }
+    }
+    return results;
+}
+
+std::vector<double> StudyResults::energy_by_version(Version v) const {
+    std::vector<double> out;
+    for (const auto& r : instances) {
+        if (r.version == v) out.push_back(r.energy_used);
+    }
+    return out;
+}
+
+std::vector<double> StudyResults::jobs_by_version(Version v) const {
+    std::vector<double> out;
+    for (const auto& r : instances) {
+        if (r.version == v) out.push_back(static_cast<double>(r.jobs_completed));
+    }
+    return out;
+}
+
+std::array<std::vector<StudyResults::JobStats>, 3> StudyResults::per_job_stats()
+    const {
+    std::array<std::vector<JobStats>, 3> stats;
+    for (auto& s : stats) s.assign(Game::kTotalJobs, JobStats{});
+    std::array<std::vector<double>, 3> energy_sums;
+    for (auto& e : energy_sums) e.assign(Game::kTotalJobs, 0.0);
+
+    for (const auto& r : instances) {
+        const auto v = static_cast<std::size_t>(r.version) - 1;
+        for (const int seen : r.seen_jobs) {
+            ++stats[v][static_cast<std::size_t>(seen)].times_seen;
+        }
+        for (const auto& c : r.completions) {
+            auto& js = stats[v][static_cast<std::size_t>(c.job_id)];
+            ++js.times_run;
+            energy_sums[v][static_cast<std::size_t>(c.job_id)] += c.energy;
+        }
+    }
+    for (std::size_t v = 0; v < 3; ++v) {
+        for (std::size_t j = 0; j < stats[v].size(); ++j) {
+            auto& js = stats[v][j];
+            js.run_probability =
+                js.times_seen > 0 ? static_cast<double>(js.times_run) /
+                                        static_cast<double>(js.times_seen)
+                                  : 0.0;
+            js.mean_energy =
+                js.times_run > 0
+                    ? energy_sums[v][j] / static_cast<double>(js.times_run)
+                    : 0.0;
+        }
+    }
+    return stats;
+}
+
+}  // namespace ga::study

@@ -1,0 +1,65 @@
+// Study runner and analysis (paper §6.2).
+//
+// 90 unique participants play at least twice; the first play (familiarization)
+// is discarded, as are instances finished in under a minute. Analyses:
+//   Fig 9a — total energy by version;
+//   Fig 9b — jobs completed by version;
+//   Fig 9c — energy stratified by jobs completed;
+//   Fig 10 — P(job was run | job was seen) vs the job's mean energy.
+#pragma once
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "study/agent.hpp"
+
+namespace ga::study {
+
+/// One retained game instance.
+struct InstanceRecord {
+    Version version = Version::V1;
+    std::uint32_t participant = 0;
+    double energy_used = 0.0;
+    int jobs_completed = 0;
+    std::vector<Game::CompletionRecord> completions;
+    std::vector<int> seen_jobs;
+};
+
+/// Study configuration (defaults reproduce the paper's scale).
+struct StudyOptions {
+    std::size_t participants = 90;
+    int min_plays = 2;
+    int max_extra_plays = 3;  ///< plays beyond the minimum, randomized
+    std::uint64_t seed = 2024;
+};
+
+/// All retained instances plus discard bookkeeping.
+struct StudyResults {
+    std::vector<InstanceRecord> instances;
+    std::size_t discarded_first_plays = 0;
+    std::size_t discarded_rushed = 0;
+
+    /// Energy totals per version (Fig 9a input).
+    [[nodiscard]] std::vector<double> energy_by_version(Version v) const;
+
+    /// Jobs completed per version (Fig 9b input).
+    [[nodiscard]] std::vector<double> jobs_by_version(Version v) const;
+
+    /// Per-job run probability and mean consumed energy per version
+    /// (Fig 10): index = job id.
+    struct JobStats {
+        double run_probability = 0.0;
+        double mean_energy = 0.0;
+        std::size_t times_seen = 0;
+        std::size_t times_run = 0;
+    };
+    [[nodiscard]] std::array<std::vector<JobStats>, 3> per_job_stats() const;
+};
+
+/// Runs the full study: each participant is randomly assigned a version,
+/// plays a discarded familiarization game, then their retained plays (the
+/// version is re-randomized after the second play, as in the paper).
+[[nodiscard]] StudyResults run_study(const StudyOptions& options = {});
+
+}  // namespace ga::study

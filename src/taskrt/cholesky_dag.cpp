@@ -1,0 +1,87 @@
+#include "taskrt/cholesky_dag.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ga::taskrt {
+
+double TiledCholeskyConfig::order() const noexcept {
+    return std::sqrt(matrix_gb * 1e9 / element_bytes);
+}
+
+std::size_t expected_task_count(int tiles) noexcept {
+    const auto t = static_cast<std::size_t>(tiles);
+    return t + t * (t - 1) / 2 + t * (t - 1) / 2 + t * (t - 1) * (t - 2) / 6;
+}
+
+TaskGraph build_tiled_cholesky(const TiledCholeskyConfig& config) {
+    GA_REQUIRE(config.tiles >= 1, "cholesky dag: need at least one tile");
+    GA_REQUIRE(config.matrix_gb > 0.0, "cholesky dag: matrix size must be positive");
+    const int t = config.tiles;
+    const double b = config.tile_dim();
+    const double b3 = b * b * b;
+
+    TaskGraph graph(config.tile_bytes());
+
+    // Tile id for lower-triangle coordinates (i >= j).
+    auto tile = [t](int i, int j) {
+        return static_cast<TileId>(i * t + j);
+    };
+
+    // Last writer of each tile, for dependency inference.
+    constexpr TaskId kNone = ~TaskId{0};
+    std::vector<TaskId> last_writer(static_cast<std::size_t>(t) * t, kNone);
+    auto dep_on = [&last_writer](std::vector<TaskId>& deps, TileId tl) {
+        const TaskId w = last_writer[tl];
+        if (w != kNone) deps.push_back(w);
+    };
+
+    for (int k = 0; k < t; ++k) {
+        // POTRF(k,k): b^3/3 flops.
+        {
+            std::vector<TaskId> deps;
+            dep_on(deps, tile(k, k));
+            const TaskId id = graph.add_task(Codelet::Potrf, b3 / 3.0,
+                                             std::move(deps), {tile(k, k)},
+                                             {tile(k, k)});
+            last_writer[tile(k, k)] = id;
+        }
+        // TRSM(i,k): b^3 flops each.
+        for (int i = k + 1; i < t; ++i) {
+            std::vector<TaskId> deps;
+            dep_on(deps, tile(k, k));
+            dep_on(deps, tile(i, k));
+            const TaskId id =
+                graph.add_task(Codelet::Trsm, b3, std::move(deps),
+                               {tile(k, k), tile(i, k)}, {tile(i, k)});
+            last_writer[tile(i, k)] = id;
+        }
+        // SYRK(i,i) and GEMM(i,j) updates.
+        for (int i = k + 1; i < t; ++i) {
+            {
+                std::vector<TaskId> deps;
+                dep_on(deps, tile(i, k));
+                dep_on(deps, tile(i, i));
+                const TaskId id =
+                    graph.add_task(Codelet::Syrk, b3, std::move(deps),
+                                   {tile(i, k), tile(i, i)}, {tile(i, i)});
+                last_writer[tile(i, i)] = id;
+            }
+            for (int j = k + 1; j < i; ++j) {
+                std::vector<TaskId> deps;
+                dep_on(deps, tile(i, k));
+                dep_on(deps, tile(j, k));
+                dep_on(deps, tile(i, j));
+                const TaskId id = graph.add_task(
+                    Codelet::Gemm, 2.0 * b3, std::move(deps),
+                    {tile(i, k), tile(j, k), tile(i, j)}, {tile(i, j)});
+                last_writer[tile(i, j)] = id;
+            }
+        }
+    }
+    return graph;
+}
+
+}  // namespace ga::taskrt

@@ -1,0 +1,43 @@
+// Tiled Cholesky DAG generator (the paper's GPU application, §4.2.2).
+//
+// Standard right-looking tiled factorization over a T×T grid of b×b tiles:
+//
+//   for k in 0..T-1:
+//     POTRF(A[k][k])
+//     for i in k+1..T-1:          TRSM(A[k][k] -> A[i][k])
+//     for i in k+1..T-1:
+//       SYRK(A[i][k] -> A[i][i])
+//       for j in k+1..i-1:        GEMM(A[i][k], A[j][k] -> A[i][j])
+//
+// Dependencies are tracked through the last writer of each tile, exactly as
+// StarPU's data-dependency inference would derive them.
+#pragma once
+
+#include "taskrt/task.hpp"
+
+namespace ga::taskrt {
+
+/// Problem description for the GPU study.
+struct TiledCholeskyConfig {
+    double matrix_gb = 42.0;     ///< total matrix size (paper: 42 GB SP)
+    int tiles = 21;              ///< T: tiles per dimension
+    int element_bytes = 4;       ///< single precision
+
+    /// Matrix order implied by the size.
+    [[nodiscard]] double order() const noexcept;
+    /// Tile dimension b (order / tiles).
+    [[nodiscard]] double tile_dim() const noexcept { return order() / tiles; }
+    /// Bytes per tile.
+    [[nodiscard]] double tile_bytes() const noexcept {
+        return tile_dim() * tile_dim() * element_bytes;
+    }
+};
+
+/// Builds the full DAG. Tile ids index the lower triangle of the T×T grid.
+[[nodiscard]] TaskGraph build_tiled_cholesky(const TiledCholeskyConfig& config);
+
+/// Task-count helpers (used by tests): POTRF=T, TRSM=SYRK=T(T-1)/2,
+/// GEMM=T(T-1)(T-2)/6.
+[[nodiscard]] std::size_t expected_task_count(int tiles) noexcept;
+
+}  // namespace ga::taskrt

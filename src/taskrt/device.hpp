@@ -1,0 +1,69 @@
+// Simulated accelerator devices for the task runtime.
+//
+// We do not have P100/V100/A100 hardware (the paper used Grid'5000), so each
+// device is a timing/energy model: per-codelet effective throughput, a PCIe
+// link, and an LRU tile cache of the device memory. Effective GEMM
+// throughputs are calibrated to the paper's measured single-GPU runtimes
+// (Table 3), which are dominated by out-of-core streaming of the 42 GB
+// matrix — hence far below manufacturer peaks.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "machine/spec.hpp"
+#include "taskrt/task.hpp"
+
+namespace ga::taskrt {
+
+/// Per-codelet efficiency model for one GPU generation.
+struct DeviceModel {
+    ga::machine::GpuSpec spec;
+    double gemm_gflops_eff = 200.0;  ///< effective GEMM throughput (GFlop/s)
+    double trsm_factor = 0.85;       ///< TRSM/SYRK run at this fraction of GEMM
+    double potrf_factor = 0.25;      ///< POTRF is small and latency-bound
+    double busy_power_frac = 0.80;   ///< active draw as a fraction of TDP
+
+    /// Effective rate (flops/s) for a codelet.
+    [[nodiscard]] double rate(Codelet c) const noexcept;
+
+    /// Power (W) while computing / while idle.
+    [[nodiscard]] double busy_power_w() const noexcept {
+        return spec.tdp_w * busy_power_frac;
+    }
+    [[nodiscard]] double idle_power_w() const noexcept { return spec.idle_w; }
+};
+
+/// Calibrated models for the paper's three GPU generations, keyed by the
+/// catalog GPU model name ("Nvidia P100", ...).
+[[nodiscard]] DeviceModel device_model_for(const ga::machine::GpuSpec& spec);
+
+/// LRU cache of data tiles in device memory; counts misses so the scheduler
+/// can charge PCIe fetches.
+class TileCache {
+public:
+    /// `capacity_tiles` must be >= 1.
+    explicit TileCache(std::size_t capacity_tiles);
+
+    /// Touches a tile: returns true on hit; on miss, inserts it (evicting
+    /// the least recently used tile when full).
+    bool touch(TileId tile);
+
+    [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+    /// Removes a tile (e.g. invalidated by a remote write).
+    void invalidate(TileId tile);
+
+private:
+    std::size_t capacity_;
+    std::list<TileId> lru_;  // front = most recent
+    std::unordered_map<TileId, std::list<TileId>::iterator> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace ga::taskrt

@@ -1,0 +1,56 @@
+#include "taskrt/experiment.hpp"
+
+#include "util/error.hpp"
+
+namespace ga::taskrt {
+
+NodeConfig node_config_for(const ga::machine::CatalogEntry& entry, int n_gpus) {
+    GA_REQUIRE(entry.node.gpu_count > 0, "taskrt: machine has no GPUs");
+    GA_REQUIRE(n_gpus >= 1 && n_gpus <= entry.node.gpu_count,
+               "taskrt: GPU count out of range for node");
+    NodeConfig config;
+    config.devices.assign(static_cast<std::size_t>(n_gpus),
+                          device_model_for(entry.node.gpu));
+    config.idle_devices = entry.node.gpu_count - n_gpus;
+    // Host draw and out-of-core staging bandwidth per node generation,
+    // calibrated against the paper's measured runtimes/energies (Table 3).
+    if (entry.node.name == "P100") {
+        config.host_power_w = 150.0;
+        config.staging_bw_gbs = 0.26;
+    } else if (entry.node.name == "V100") {
+        config.host_power_w = 280.0;
+        config.staging_bw_gbs = 0.28;
+    } else if (entry.node.name == "A100") {
+        config.host_power_w = 330.0;
+        config.staging_bw_gbs = 0.35;
+    } else {
+        config.host_power_w = 200.0;
+        config.staging_bw_gbs = 1.0;
+    }
+    return config;
+}
+
+GpuRun run_tiled_cholesky(const ga::machine::CatalogEntry& entry, int n_gpus,
+                          const TiledCholeskyConfig& config) {
+    const TaskGraph graph = build_tiled_cholesky(config);
+    const ScheduleResult result = execute(graph, node_config_for(entry, n_gpus));
+    GpuRun run;
+    run.gpu = entry.node.name;
+    run.n_gpus = n_gpus;
+    run.runtime_s = result.makespan_s;
+    run.energy_j = result.energy_j;
+    return run;
+}
+
+std::vector<GpuRun> table3_sweep(const TiledCholeskyConfig& config) {
+    std::vector<GpuRun> runs;
+    for (const auto& entry : ga::machine::gpu_nodes()) {
+        for (const int k : {1, 2, 4, 8}) {
+            if (k > entry.node.gpu_count) break;
+            runs.push_back(run_tiled_cholesky(entry, k, config));
+        }
+    }
+    return runs;
+}
+
+}  // namespace ga::taskrt

@@ -1,0 +1,34 @@
+// The Table-3 experiment: tiled Cholesky on 1..8 GPUs of each generation.
+#pragma once
+
+#include <vector>
+
+#include "machine/catalog.hpp"
+#include "taskrt/cholesky_dag.hpp"
+#include "taskrt/scheduler.hpp"
+
+namespace ga::taskrt {
+
+/// One (GPU type, #GPUs) measurement.
+struct GpuRun {
+    std::string gpu;        ///< node name ("P100", "V100", "A100")
+    int n_gpus = 1;
+    double runtime_s = 0.0;
+    double energy_j = 0.0;
+};
+
+/// Node-level calibration constants (host draw, out-of-core staging
+/// bandwidth), keyed by GPU-node catalog entry.
+[[nodiscard]] NodeConfig node_config_for(const ga::machine::CatalogEntry& entry,
+                                         int n_gpus);
+
+/// Runs the tiled Cholesky on `n_gpus` devices of `entry`'s GPU type.
+[[nodiscard]] GpuRun run_tiled_cholesky(const ga::machine::CatalogEntry& entry,
+                                        int n_gpus,
+                                        const TiledCholeskyConfig& config = {});
+
+/// The full Table-3 sweep: P100 × {1,2}, V100/A100 × {1,2,4,8}.
+[[nodiscard]] std::vector<GpuRun> table3_sweep(
+    const TiledCholeskyConfig& config = {});
+
+}  // namespace ga::taskrt

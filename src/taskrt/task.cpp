@@ -1,0 +1,56 @@
+#include "taskrt/task.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ga::taskrt {
+
+std::string_view to_string(Codelet c) noexcept {
+    switch (c) {
+        case Codelet::Potrf: return "POTRF";
+        case Codelet::Trsm: return "TRSM";
+        case Codelet::Syrk: return "SYRK";
+        case Codelet::Gemm: return "GEMM";
+        case Codelet::Generic: return "GENERIC";
+    }
+    return "unknown";
+}
+
+TaskGraph::TaskGraph(double tile_bytes) : tile_bytes_(tile_bytes) {
+    GA_REQUIRE(tile_bytes > 0.0, "taskgraph: tile size must be positive");
+}
+
+TaskId TaskGraph::add_task(Codelet codelet, double flops, std::vector<TaskId> deps,
+                           std::vector<TileId> reads, std::vector<TileId> writes) {
+    GA_REQUIRE(flops >= 0.0, "taskgraph: negative flops");
+    const auto id = static_cast<TaskId>(tasks_.size());
+    for (const TaskId d : deps) {
+        GA_REQUIRE(d < id, "taskgraph: dependency on a not-yet-added task");
+    }
+    Task t;
+    t.id = id;
+    t.codelet = codelet;
+    t.flops = flops;
+    t.deps = std::move(deps);
+    t.reads = std::move(reads);
+    t.writes = std::move(writes);
+    total_flops_ += flops;
+    tasks_.push_back(std::move(t));
+    depths_.clear();  // invalidate cache
+    return id;
+}
+
+const std::vector<std::uint32_t>& TaskGraph::depths() const {
+    if (depths_.size() == tasks_.size()) return depths_;
+    depths_.assign(tasks_.size(), 1);
+    // Tasks are topologically ordered by construction (deps have lower ids).
+    for (const Task& t : tasks_) {
+        for (const TaskId d : t.deps) {
+            depths_[t.id] = std::max(depths_[t.id], depths_[d] + 1);
+        }
+    }
+    return depths_;
+}
+
+}  // namespace ga::taskrt

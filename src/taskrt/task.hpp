@@ -1,0 +1,58 @@
+// Task-graph core of the StarPU-like runtime (paper §4.2.2).
+//
+// The paper runs a tiled Cholesky decomposition "using the StarPU runtime
+// system to orchestrate the application across different Nvidia GPUs". We
+// rebuild that substrate: a dependency DAG of typed codelets over data tiles,
+// executed by a virtual-time list scheduler on simulated devices.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ga::taskrt {
+
+/// Codelet types of the tiled Cholesky (plus a generic compute codelet for
+/// other applications built on the runtime).
+enum class Codelet { Potrf, Trsm, Syrk, Gemm, Generic };
+
+[[nodiscard]] std::string_view to_string(Codelet c) noexcept;
+
+using TaskId = std::uint32_t;
+using TileId = std::uint32_t;
+
+/// One node of the DAG.
+struct Task {
+    TaskId id = 0;
+    Codelet codelet = Codelet::Generic;
+    double flops = 0.0;
+    std::vector<TaskId> deps;        ///< tasks that must complete first
+    std::vector<TileId> reads;       ///< tiles fetched to the device
+    std::vector<TileId> writes;      ///< tiles written back (out-of-core)
+};
+
+/// A complete task graph over uniform tiles.
+class TaskGraph {
+public:
+    explicit TaskGraph(double tile_bytes);
+
+    /// Adds a task and returns its id. Dependencies must already exist.
+    TaskId add_task(Codelet codelet, double flops, std::vector<TaskId> deps,
+                    std::vector<TileId> reads, std::vector<TileId> writes);
+
+    [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+    [[nodiscard]] double tile_bytes() const noexcept { return tile_bytes_; }
+    [[nodiscard]] double total_flops() const noexcept { return total_flops_; }
+
+    /// Longest path length (in tasks) ending at each task — the list
+    /// scheduler's priority. Computed lazily and cached.
+    [[nodiscard]] const std::vector<std::uint32_t>& depths() const;
+
+private:
+    double tile_bytes_;
+    double total_flops_ = 0.0;
+    std::vector<Task> tasks_;
+    mutable std::vector<std::uint32_t> depths_;
+};
+
+}  // namespace ga::taskrt

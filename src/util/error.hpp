@@ -1,0 +1,41 @@
+// Error-handling primitives shared by every ga_* library.
+//
+// The libraries in this project follow a simple contract: programming errors
+// (violated preconditions) throw ga::util::PreconditionError; recoverable
+// runtime conditions (bad input files, malformed traces) throw
+// ga::util::RuntimeError. Both derive from std::runtime_error so callers can
+// catch either granularity.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ga::util {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::runtime_error {
+public:
+    explicit PreconditionError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown for recoverable runtime failures (I/O, malformed input, ...).
+class RuntimeError : public std::runtime_error {
+public:
+    explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws PreconditionError with a formatted location message.
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& message);
+
+}  // namespace ga::util
+
+/// Validates a documented precondition of a public entry point.
+/// Unlike assert(), stays active in release builds: accounting code guards
+/// budgets and must not silently accept corrupt inputs.
+#define GA_REQUIRE(expr, message)                                              \
+    do {                                                                       \
+        if (!(expr)) {                                                         \
+            ::ga::util::throw_precondition(#expr, __FILE__, __LINE__, (message)); \
+        }                                                                      \
+    } while (false)

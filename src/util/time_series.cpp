@@ -1,0 +1,78 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ga::util {
+
+TimeSeries::TimeSeries(double t0_seconds, double period_seconds,
+                       std::vector<double> values, Interpolation interp, bool wrap)
+    : t0_(t0_seconds),
+      period_(period_seconds),
+      values_(std::move(values)),
+      interp_(interp),
+      wrap_(wrap) {
+    GA_REQUIRE(period_ > 0.0, "time series period must be positive");
+    GA_REQUIRE(!values_.empty(), "time series must have at least one sample");
+}
+
+double TimeSeries::sample(std::ptrdiff_t index) const noexcept {
+    const auto n = static_cast<std::ptrdiff_t>(values_.size());
+    if (wrap_) {
+        std::ptrdiff_t m = index % n;
+        if (m < 0) m += n;
+        return values_[static_cast<std::size_t>(m)];
+    }
+    const std::ptrdiff_t clamped = std::clamp<std::ptrdiff_t>(index, 0, n - 1);
+    return values_[static_cast<std::size_t>(clamped)];
+}
+
+double TimeSeries::at(double t_seconds) const {
+    const double x = (t_seconds - t0_) / period_;
+    const double fl = std::floor(x);
+    const auto i = static_cast<std::ptrdiff_t>(fl);
+    if (interp_ == Interpolation::Step) return sample(i);
+    const double frac = x - fl;
+    return sample(i) * (1.0 - frac) + sample(i + 1) * frac;
+}
+
+double TimeSeries::integrate(double t_begin, double t_end) const {
+    GA_REQUIRE(t_end >= t_begin, "integration interval must be ordered");
+    if (t_end == t_begin) return 0.0;
+
+    // Integrate sample-aligned segments. Work in sample coordinates.
+    const double x0 = (t_begin - t0_) / period_;
+    const double x1 = (t_end - t0_) / period_;
+    double total = 0.0;
+    double x = x0;
+    while (x < x1) {
+        const double cell_end = std::min(std::floor(x) + 1.0, x1);
+        const double width = cell_end - x;
+        const auto i = static_cast<std::ptrdiff_t>(std::floor(x));
+        if (interp_ == Interpolation::Step) {
+            total += sample(i) * width;
+        } else {
+            // Linear between sample(i) at integer i and sample(i+1) at i+1.
+            const double fl = std::floor(x);
+            const double a = x - fl;
+            const double b = cell_end - fl;
+            const double v0 = sample(i);
+            const double v1 = sample(i + 1);
+            // integral of v0 + (v1-v0)*u for u in [a,b]
+            total += v0 * (b - a) + (v1 - v0) * 0.5 * (b * b - a * a);
+        }
+        x = cell_end;
+        // Guard against FP stagnation on huge ranges.
+        if (width <= 0.0) break;
+    }
+    return total * period_;
+}
+
+double TimeSeries::mean(double t_begin, double t_end) const {
+    GA_REQUIRE(t_end > t_begin, "mean interval must be non-empty");
+    return integrate(t_begin, t_end) / (t_end - t_begin);
+}
+
+}  // namespace ga::util

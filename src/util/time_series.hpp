@@ -1,0 +1,59 @@
+// Uniformly-sampled time series with linear and step interpolation plus
+// exact integration — the numeric backbone for carbon-intensity traces and
+// power telemetry.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ga::util {
+
+/// How values between samples are interpreted.
+enum class Interpolation {
+    Step,    ///< value holds until the next sample (grid feeds publish this way)
+    Linear,  ///< piecewise-linear between samples
+};
+
+/// A time series sampled at a fixed period starting at t0 (seconds).
+///
+/// Lookups outside the sampled range clamp to the first/last sample, and a
+/// `wrap` mode treats the series as periodic (used for "typical day/year"
+/// synthetic grid profiles).
+class TimeSeries {
+public:
+    TimeSeries(double t0_seconds, double period_seconds, std::vector<double> values,
+               Interpolation interp = Interpolation::Step, bool wrap = false);
+
+    /// Value at absolute time t (seconds).
+    [[nodiscard]] double at(double t_seconds) const;
+
+    /// Integral of the series over [t_begin, t_end] (value·seconds).
+    /// Handles partial samples exactly for both interpolation modes.
+    [[nodiscard]] double integrate(double t_begin, double t_end) const;
+
+    /// Mean value over [t_begin, t_end].
+    [[nodiscard]] double mean(double t_begin, double t_end) const;
+
+    [[nodiscard]] double t0() const noexcept { return t0_; }
+    [[nodiscard]] double period() const noexcept { return period_; }
+    [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+    [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+    [[nodiscard]] bool wraps() const noexcept { return wrap_; }
+
+    /// Duration covered by the sample window (size * period).
+    [[nodiscard]] double span() const noexcept {
+        return period_ * static_cast<double>(values_.size());
+    }
+
+private:
+    /// Sample value by index with clamping or wrapping.
+    [[nodiscard]] double sample(std::ptrdiff_t index) const noexcept;
+
+    double t0_;
+    double period_;
+    std::vector<double> values_;
+    Interpolation interp_;
+    bool wrap_;
+};
+
+}  // namespace ga::util

@@ -1,0 +1,125 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "machine/catalog.hpp"
+#include "machine/perf.hpp"
+#include "util/error.hpp"
+
+namespace ga::workload {
+
+int sample_core_count(ga::util::Rng& rng) {
+    // Mix calibrated so P(cores > 16) = 0.17 (the paper's Desktop-excluded
+    // fraction).
+    static constexpr std::array<int, 8> kCores = {1, 2, 4, 8, 16, 32, 48, 64};
+    static constexpr std::array<double, 8> kWeights = {0.25, 0.10, 0.10, 0.15,
+                                                       0.23, 0.10, 0.04, 0.03};
+    const std::size_t idx = rng.categorical(kWeights);
+    return kCores[idx];
+}
+
+AppProfile sample_app_profile(ga::util::Rng& rng) {
+    AppProfile app;
+    app.cores = sample_core_count(rng);
+    // Heavy-tailed runtimes: median ~20 min, occasional multi-hour jobs,
+    // clipped to 24 h.
+    app.runtime_median_s =
+        std::min(rng.lognormal(std::log(1200.0), 1.1), 24.0 * 3600.0);
+    app.runtime_sigma = rng.uniform(0.05, 0.30);
+    // Bimodal-ish intensity: clusters of compute-bound and memory-bound apps
+    // with a balanced middle.
+    const double mode = rng.uniform();
+    if (mode < 0.40) {
+        app.compute_intensity = rng.uniform(0.75, 1.0);  // compute-bound
+    } else if (mode < 0.75) {
+        app.compute_intensity = rng.uniform(0.0, 0.25);  // memory-bound
+    } else {
+        app.compute_intensity = rng.uniform(0.25, 0.75);
+    }
+    app.submit_rate_per_day = rng.uniform(0.5, 6.0);
+    return app;
+}
+
+std::vector<TraceJob> generate_trace(const TraceOptions& options) {
+    GA_REQUIRE(options.base_jobs >= 1, "trace: need at least one job");
+    GA_REQUIRE(options.repetitions >= 1, "trace: repetitions must be >= 1");
+    GA_REQUIRE(options.users >= 1, "trace: need at least one user");
+    GA_REQUIRE(options.span_days > 0.0, "trace: span must be positive");
+
+    ga::util::Rng root(options.seed);
+    ga::util::Rng app_rng = root.split(1);
+    ga::util::Rng assign_rng = root.split(2);
+    ga::util::Rng job_rng = root.split(3);
+
+    // Per-user app portfolios (2–6 apps each).
+    struct UserApps {
+        std::vector<AppProfile> apps;
+    };
+    std::vector<UserApps> users(options.users);
+    for (auto& u : users) {
+        const auto n_apps = static_cast<std::size_t>(app_rng.uniform_int(2, 6));
+        u.apps.reserve(n_apps);
+        for (std::size_t a = 0; a < n_apps; ++a) {
+            u.apps.push_back(sample_app_profile(app_rng));
+        }
+    }
+
+    // The IC machine model prices each app's power draw: active watts scale
+    // with compute intensity exactly as the CPU perf model's activity factor.
+    const auto& ic = ga::machine::find(ga::machine::CatalogId::InstitutionalCluster);
+    const double idle_per_core =
+        ic.node.idle_w() / static_cast<double>(ic.node.total_cores());
+
+    const double span_s = options.span_days * 24.0 * 3600.0;
+    std::vector<TraceJob> jobs;
+    jobs.reserve(options.total_jobs());
+
+    for (std::size_t j = 0; j < options.base_jobs; ++j) {
+        // Pick a user weighted toward heavy submitters (squared uniform).
+        const double r = assign_rng.uniform();
+        const auto uid = static_cast<std::uint32_t>(
+            static_cast<double>(options.users) * r * r * 0.999999);
+        auto& user = users[uid];
+        const auto app_idx = static_cast<std::uint32_t>(assign_rng.uniform_int(
+            0, static_cast<std::int64_t>(user.apps.size()) - 1));
+        const AppProfile& app = user.apps[app_idx];
+
+        TraceJob job;
+        job.user = uid;
+        job.app = app_idx;
+        job.cores = app.cores;
+        job.submit_s = job_rng.uniform(0.0, span_s);
+        job.runtime_ic_s = std::min(
+            app.runtime_median_s *
+                std::exp(job_rng.normal(0.0, app.runtime_sigma)),
+            24.0 * 3600.0);
+        // Activity factor mirrors CpuPerfModel: memory-bound apps draw less.
+        const double activity = 0.55 + 0.45 * app.compute_intensity;
+        job.power_ic_w = static_cast<double>(app.cores) *
+                         (ic.node.cpu.active_watts_per_core * activity +
+                          idle_per_core);
+
+        for (int rep = 0; rep < options.repetitions; ++rep) {
+            TraceJob copy = job;
+            if (rep > 0) {
+                // The repetition is a later resubmission of the same app.
+                copy.submit_s = job_rng.uniform(copy.submit_s, span_s);
+            }
+            jobs.push_back(copy);
+        }
+    }
+
+    std::sort(jobs.begin(), jobs.end(),
+              [](const TraceJob& a, const TraceJob& b) {
+                  if (a.submit_s != b.submit_s) return a.submit_s < b.submit_s;
+                  return a.user < b.user;
+              });
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i].id = static_cast<std::uint32_t>(i);
+    }
+    return jobs;
+}
+
+}  // namespace ga::workload

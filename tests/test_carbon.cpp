@@ -1,0 +1,225 @@
+// Tests for ga_carbon: depreciation schedules, intensity traces, synthetic
+// grids, and machine carbon rates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "carbon/depreciation.hpp"
+#include "carbon/grids.hpp"
+#include "carbon/intensity.hpp"
+#include "carbon/rates.hpp"
+#include "machine/catalog.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+namespace cb = ga::carbon;
+namespace mc = ga::machine;
+
+// ---------------------------------------------------------------- depreciation
+TEST(Depreciation, DdbFollowsPaperFormula) {
+    const cb::DepreciationSchedule s(1000.0, 5.0);
+    EXPECT_DOUBLE_EQ(s.ddb_rate(), 0.4);
+    // R(y) = C * 0.6^y.
+    EXPECT_DOUBLE_EQ(s.remaining_g(0.0, cb::DepreciationMethod::DoubleDeclining),
+                     1000.0);
+    EXPECT_DOUBLE_EQ(s.remaining_g(1.0, cb::DepreciationMethod::DoubleDeclining),
+                     600.0);
+    EXPECT_DOUBLE_EQ(s.remaining_g(2.0, cb::DepreciationMethod::DoubleDeclining),
+                     360.0);
+    // D(y) = 0.4 * R(y).
+    EXPECT_DOUBLE_EQ(
+        s.allocated_year_g(1.0, cb::DepreciationMethod::DoubleDeclining), 240.0);
+    // rate = D(y) / (24*365).
+    EXPECT_NEAR(s.rate_g_per_hour(1.0, cb::DepreciationMethod::DoubleDeclining),
+                240.0 / 8760.0, 1e-12);
+}
+
+TEST(Depreciation, AgeFlooredToWholeYears) {
+    const cb::DepreciationSchedule s(1000.0, 5.0);
+    EXPECT_DOUBLE_EQ(s.remaining_g(1.0, cb::DepreciationMethod::DoubleDeclining),
+                     s.remaining_g(1.99, cb::DepreciationMethod::DoubleDeclining));
+}
+
+TEST(Depreciation, LinearConstantWithinLifetimeZeroAfter) {
+    const cb::DepreciationSchedule s(1000.0, 5.0);
+    EXPECT_DOUBLE_EQ(s.allocated_year_g(0.0, cb::DepreciationMethod::Linear),
+                     200.0);
+    EXPECT_DOUBLE_EQ(s.allocated_year_g(4.0, cb::DepreciationMethod::Linear),
+                     200.0);
+    EXPECT_DOUBLE_EQ(s.allocated_year_g(5.0, cb::DepreciationMethod::Linear), 0.0);
+    EXPECT_DOUBLE_EQ(s.remaining_g(5.0, cb::DepreciationMethod::Linear), 0.0);
+}
+
+TEST(Depreciation, AcceleratedVsLinearCrossover) {
+    // accel/linear = 2 * 0.6^y: accelerated charges MORE before ~1.9 years
+    // and LESS after — the paper's Table-4 argument.
+    const cb::DepreciationSchedule s(1000.0, 5.0);
+    const auto ratio = [&s](double age) {
+        return s.allocated_year_g(age, cb::DepreciationMethod::DoubleDeclining) /
+               s.allocated_year_g(age, cb::DepreciationMethod::Linear);
+    };
+    EXPECT_GT(ratio(0.0), 1.0);
+    EXPECT_GT(ratio(1.0), 1.0);
+    EXPECT_LT(ratio(2.0), 1.0);
+    EXPECT_LT(ratio(4.0), 1.0);
+}
+
+TEST(Depreciation, DdbNeverFullyDepreciates) {
+    const cb::DepreciationSchedule s(1000.0, 5.0);
+    EXPECT_GT(s.remaining_g(10.0, cb::DepreciationMethod::DoubleDeclining), 0.0);
+    EXPECT_LT(s.remaining_g(10.0, cb::DepreciationMethod::DoubleDeclining), 10.0);
+}
+
+TEST(Depreciation, RejectsBadInputs) {
+    EXPECT_THROW(cb::DepreciationSchedule(-1.0), ga::util::PreconditionError);
+    EXPECT_THROW(cb::DepreciationSchedule(1.0, 0.0), ga::util::PreconditionError);
+    const cb::DepreciationSchedule s(100.0);
+    EXPECT_THROW(
+        (void)s.remaining_g(-1.0, cb::DepreciationMethod::DoubleDeclining),
+        ga::util::PreconditionError);
+}
+
+// ---------------------------------------------------------------- intensity
+TEST(Intensity, ConstantTrace) {
+    const auto trace = cb::IntensityTrace::constant(454.0);
+    EXPECT_DOUBLE_EQ(trace.at(0.0), 454.0);
+    EXPECT_DOUBLE_EQ(trace.at(1e9), 454.0);
+    EXPECT_DOUBLE_EQ(trace.mean(0.0, 3600.0), 454.0);
+}
+
+TEST(Intensity, OperationalCarbonMatchesEq2Term) {
+    const auto trace = cb::IntensityTrace::constant(500.0);
+    // 1 kWh at 500 g/kWh.
+    EXPECT_DOUBLE_EQ(trace.operational_g(ga::util::kwh_to_joules(1.0), 0.0), 500.0);
+}
+
+TEST(Intensity, HourlyLookupAndIntegratedVariant) {
+    const auto trace =
+        cb::IntensityTrace::hourly({100.0, 300.0}, 0.0, "test", false);
+    EXPECT_DOUBLE_EQ(trace.at(1800.0), 100.0);
+    EXPECT_DOUBLE_EQ(trace.at(3601.0), 300.0);
+    // Integrated over both hours: mean 200.
+    EXPECT_NEAR(trace.operational_integrated_g(3.6e6, 0.0, 7200.0), 200.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- grids
+TEST(Grids, FourRegionsDefined) {
+    EXPECT_EQ(cb::fig7_regions().size(), 4u);
+    EXPECT_NO_THROW((void)cb::region("AU-SA"));
+    EXPECT_NO_THROW((void)cb::region("DK-BHM"));
+    EXPECT_THROW((void)cb::region("XX-YY"), ga::util::RuntimeError);
+}
+
+TEST(Grids, SynthesisDeterministic) {
+    const auto a = cb::synthesize(cb::region("AU-SA"), 7, 42);
+    const auto b = cb::synthesize(cb::region("AU-SA"), 7, 42);
+    for (double t = 0.0; t < 86400.0; t += 977.0) {
+        EXPECT_DOUBLE_EQ(a.at(t), b.at(t));
+    }
+}
+
+TEST(Grids, IntensityAboveFloor) {
+    for (const auto& profile : cb::fig7_regions()) {
+        const auto trace = cb::synthesize(profile, 10, 7);
+        for (double t = 0.0; t < 10 * 86400.0; t += 3600.0) {
+            EXPECT_GE(trace.at(t), profile.floor_g_per_kwh);
+        }
+    }
+}
+
+TEST(Grids, SolarRegionDipsMidday) {
+    // AU-SA midday (local) intensity is far below its nighttime intensity.
+    const auto trace = cb::synthesize(cb::region("AU-SA"), 14, 3);
+    double midday = 0.0;
+    double night = 0.0;
+    int days = 0;
+    for (int d = 0; d < 14; ++d) {
+        const double base = d * 86400.0;
+        // local noon = 12 - utc_offset(9.5) = 02:30 UTC
+        midday += trace.at(base + 2.5 * 3600.0);
+        night += trace.at(base + 14.0 * 3600.0);
+        ++days;
+    }
+    EXPECT_LT(midday / days, 0.55 * night / days);
+}
+
+TEST(Grids, HydroRegionNearlyFlat) {
+    const auto trace = cb::synthesize(cb::region("NO-NO2"), 7, 5);
+    double lo = 1e9;
+    double hi = 0.0;
+    for (double t = 0.0; t < 7 * 86400.0; t += 3600.0) {
+        lo = std::min(lo, trace.at(t));
+        hi = std::max(hi, trace.at(t));
+    }
+    EXPECT_LT(hi - lo, 40.0);
+    EXPECT_LT(hi, 60.0);
+}
+
+TEST(Grids, WindRegionSwingsWidely) {
+    const auto trace = cb::synthesize(cb::region("DK-BHM"), 14, 5);
+    double lo = 1e9;
+    double hi = 0.0;
+    for (double t = 0.0; t < 14 * 86400.0; t += 3600.0) {
+        lo = std::min(lo, trace.at(t));
+        hi = std::max(hi, trace.at(t));
+    }
+    EXPECT_GT(hi - lo, 120.0);
+}
+
+// ---------------------------------------------------------------- rates
+TEST(Rates, Table5CarbonRatesReproduced) {
+    // Paper Table 5: FASTER 105.2, IC 16.7, Theta 2.0 gCO2e/h.
+    EXPECT_NEAR(cb::node_rate_g_per_hour(mc::find(mc::CatalogId::Faster)), 105.2,
+                8.0);
+    EXPECT_NEAR(
+        cb::node_rate_g_per_hour(mc::find(mc::CatalogId::InstitutionalCluster)),
+        16.7, 2.0);
+    EXPECT_NEAR(cb::node_rate_g_per_hour(mc::find(mc::CatalogId::Theta)), 2.0,
+                0.4);
+}
+
+TEST(Rates, Table2GpuRatesReproduced) {
+    // Paper Table 2: P100 8.5/9.1; V100 19/20/23/28; A100 87/93/106/131.
+    const auto& p100 = mc::find(mc::CatalogId::P100Node);
+    EXPECT_NEAR(cb::gpu_job_rate_g_per_hour(p100, 1), 8.5, 1.0);
+    EXPECT_NEAR(cb::gpu_job_rate_g_per_hour(p100, 2), 9.1, 1.0);
+    const auto& v100 = mc::find(mc::CatalogId::V100Node);
+    EXPECT_NEAR(cb::gpu_job_rate_g_per_hour(v100, 1), 19.0, 2.0);
+    EXPECT_NEAR(cb::gpu_job_rate_g_per_hour(v100, 8), 28.0, 7.0);
+    const auto& a100 = mc::find(mc::CatalogId::A100Node);
+    EXPECT_NEAR(cb::gpu_job_rate_g_per_hour(a100, 1), 87.0, 5.0);
+    EXPECT_NEAR(cb::gpu_job_rate_g_per_hour(a100, 8), 131.0, 8.0);
+}
+
+TEST(Rates, GpuRateMonotonicInDeviceCount) {
+    const auto& v100 = mc::find(mc::CatalogId::V100Node);
+    double prev = 0.0;
+    for (int k = 1; k <= 8; ++k) {
+        const double r = cb::gpu_job_rate_g_per_hour(v100, k);
+        EXPECT_GT(r, prev);
+        prev = r;
+    }
+    EXPECT_THROW((void)cb::gpu_job_rate_g_per_hour(v100, 9),
+                 ga::util::PreconditionError);
+    EXPECT_THROW(
+        (void)cb::gpu_job_rate_g_per_hour(mc::find(mc::CatalogId::Theta), 1),
+        ga::util::PreconditionError);
+}
+
+TEST(Rates, PerCoreRateDividesNodeRate) {
+    const auto& ic = mc::find(mc::CatalogId::InstitutionalCluster);
+    EXPECT_NEAR(cb::per_core_rate_g_per_hour(ic) * 48.0,
+                cb::node_rate_g_per_hour(ic), 1e-9);
+}
+
+TEST(Rates, NewerGpusCarryMoreEmbodiedRate) {
+    const double p = cb::gpu_job_rate_g_per_hour(mc::find(mc::CatalogId::P100Node), 1);
+    const double v = cb::gpu_job_rate_g_per_hour(mc::find(mc::CatalogId::V100Node), 1);
+    const double a = cb::gpu_job_rate_g_per_hour(mc::find(mc::CatalogId::A100Node), 1);
+    EXPECT_LT(p, v);
+    EXPECT_LT(v, a);
+}
+
+}  // namespace

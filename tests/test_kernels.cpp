@@ -1,0 +1,190 @@
+// Tests for the really-executed application kernels: correctness of the
+// computations and sanity of the counted work profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kernels/graph.hpp"
+#include "kernels/kernel.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+namespace kn = ga::kernels;
+
+// ---------------------------------------------------------------- suite
+TEST(Suite, SevenKernelsInPaperOrder) {
+    const auto suite = kn::make_suite();
+    ASSERT_EQ(suite.size(), 7u);
+    const auto& names = kn::suite_names();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        EXPECT_EQ(suite[i]->name(), names[i]);
+    }
+}
+
+TEST(Suite, FactoryByName) {
+    for (const auto& name : kn::suite_names()) {
+        EXPECT_EQ(kn::make_kernel(name)->name(), name);
+    }
+    EXPECT_THROW((void)kn::make_kernel("NotAKernel"), ga::util::RuntimeError);
+}
+
+// ---------------------------------------------------------------- cholesky
+TEST(Cholesky, FlopsMatchClosedForm) {
+    const auto k = kn::make_cholesky();
+    const int n = 192;
+    const auto r = k->run(n);
+    const double expected = std::pow(static_cast<double>(n), 3) / 3.0;
+    EXPECT_NEAR(r.profile.flops, expected, expected * 0.25);
+}
+
+TEST(Cholesky, FlopsScaleCubically) {
+    const auto k = kn::make_cholesky();
+    const auto small = k->run(128);
+    const auto big = k->run(256);
+    EXPECT_NEAR(big.profile.flops / small.profile.flops, 8.0, 1.0);
+}
+
+TEST(Cholesky, ChecksumDeterministic) {
+    const auto k = kn::make_cholesky();
+    EXPECT_DOUBLE_EQ(k->run(128).checksum, k->run(128).checksum);
+}
+
+TEST(Cholesky, DiagonalDominantChecksumPositive) {
+    // Pivots of a diagonally-dominant SPD matrix are all positive, so the
+    // trace-of-L checksum is at least n * sqrt(n - 0.5)-ish.
+    const int n = 160;
+    const auto r = kn::make_cholesky()->run(n);
+    EXPECT_GT(r.checksum, n * std::sqrt(static_cast<double>(n) * 0.5));
+}
+
+// ---------------------------------------------------------------- matmul
+TEST(Matmul, FlopsExactlyTwoNCubed) {
+    const auto k = kn::make_matmul();
+    const int n = 160;
+    const auto r = k->run(n);
+    EXPECT_NEAR(r.profile.flops, 2.0 * std::pow(n, 3), 1.0);
+}
+
+TEST(Matmul, ChecksumMatchesNaiveReference) {
+    // Recompute the diagonal of C with the same deterministic inputs.
+    const int n = 64;
+    const auto r = kn::make_matmul()->run(n);
+    // Rebuild inputs exactly as the kernel does.
+    const auto un = static_cast<std::size_t>(n);
+    auto fill = [](std::uint64_t i) {
+        std::uint64_t z = i * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z ^= z >> 31;
+        return static_cast<double>(z >> 11) * 0x1.0p-53;
+    };
+    double checksum = 0.0;
+    for (std::size_t i = 0; i < un; ++i) {
+        double cii = 0.0;
+        for (std::size_t k2 = 0; k2 < un; ++k2) {
+            const double a = fill(i * un + k2) - 0.5;
+            const double b = fill(k2 * un + i + un * un) - 0.5;
+            cii += a * b;
+        }
+        checksum += cii;
+    }
+    EXPECT_NEAR(r.checksum, checksum, std::abs(checksum) * 1e-10 + 1e-9);
+}
+
+// ---------------------------------------------------------------- graphs
+TEST(Graph, ConnectedAndSized) {
+    const auto g = kn::make_graph(1000, 8, 7);
+    EXPECT_EQ(g.num_vertices(), 1000u);
+    EXPECT_EQ(g.num_edges(), 8000u);
+    EXPECT_EQ(g.offsets.size(), 1001u);
+    EXPECT_EQ(g.offsets.back(), g.num_edges());
+}
+
+TEST(Bfs, ReachesEveryVertex) {
+    // The ring backbone guarantees full reachability: every depth is finite,
+    // so the checksum (sum of depths) is bounded by n * n.
+    const int n = 4000;
+    const auto r = kn::make_bfs()->run(n);
+    EXPECT_GT(r.checksum, 0.0);
+    EXPECT_LT(r.checksum, static_cast<double>(n) * n);
+    EXPECT_GT(r.profile.mem_bytes, static_cast<double>(n) * 12.0);
+}
+
+TEST(Pagerank, MassConserved) {
+    // Push-style PageRank leaks mass only at dangling vertices; the ring
+    // backbone means none exist, so ranks sum to ~1.
+    const auto r = kn::make_pagerank()->run(4000);
+    EXPECT_NEAR(r.checksum, 1.0, 1e-6);
+}
+
+TEST(Mst, WeightBoundedByEdgeCount) {
+    const int n = 3000;
+    const auto r = kn::make_mst()->run(n);
+    // n-1 accepted edges with weights in [0,1).
+    EXPECT_GT(r.checksum, 0.0);
+    EXPECT_LT(r.checksum, static_cast<double>(n - 1));
+    // Kruskal on a connected graph must accept exactly n-1 edges; its weight
+    // is far below a random spanning construction (~0.5/edge).
+    EXPECT_LT(r.checksum, 0.25 * static_cast<double>(n - 1));
+}
+
+// ---------------------------------------------------------------- md / dna
+TEST(Md, EnergyFiniteAndDeterministic) {
+    const auto k = kn::make_md();
+    const auto a = k->run(1000);
+    const auto b = k->run(1000);
+    EXPECT_TRUE(std::isfinite(a.checksum));
+    EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+    EXPECT_GT(a.profile.flops, 0.0);
+}
+
+TEST(Md, WorkGrowsWithAtoms) {
+    const auto k = kn::make_md();
+    EXPECT_GT(k->run(2000).profile.flops, k->run(1000).profile.flops);
+}
+
+TEST(DnaViz, LinearWork) {
+    const auto k = kn::make_dnaviz();
+    const auto small = k->run(100000);
+    const auto big = k->run(200000);
+    EXPECT_NEAR(big.profile.flops / small.profile.flops, 2.0, 0.01);
+    EXPECT_NEAR(big.profile.mem_bytes / small.profile.mem_bytes, 2.0, 0.01);
+}
+
+// ---------------------------------------------------------------- properties
+class AllKernels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllKernels, ProfileIsPhysical) {
+    const auto k = kn::make_kernel(GetParam());
+    const auto r = k->run(k->test_scale());
+    EXPECT_GE(r.profile.flops, 0.0);
+    EXPECT_GT(r.profile.mem_bytes, 0.0);
+    EXPECT_GE(r.profile.parallel_fraction, 0.0);
+    EXPECT_LE(r.profile.parallel_fraction, 1.0);
+    EXPECT_TRUE(std::isfinite(r.checksum));
+    EXPECT_GE(r.wall_seconds, 0.0);
+}
+
+TEST_P(AllKernels, DeterministicAcrossRuns) {
+    const auto k = kn::make_kernel(GetParam());
+    const auto a = k->run(k->test_scale());
+    const auto b = k->run(k->test_scale());
+    EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+    EXPECT_DOUBLE_EQ(a.profile.flops, b.profile.flops);
+    EXPECT_DOUBLE_EQ(a.profile.mem_bytes, b.profile.mem_bytes);
+}
+
+TEST_P(AllKernels, WorkIncreasesWithScale) {
+    const auto k = kn::make_kernel(GetParam());
+    const auto small = k->run(k->test_scale());
+    const auto big = k->run(k->test_scale() * 2);
+    EXPECT_GT(big.profile.flops + big.profile.mem_bytes,
+              small.profile.flops + small.profile.mem_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AllKernels,
+                         ::testing::Values("Cholesky", "MD", "Pagerank", "MatMul",
+                                           "DNA Viz.", "BFS", "MST"));
+
+}  // namespace

@@ -1,0 +1,220 @@
+// Tests for ga_machine: catalog integrity, embodied estimation, and the CPU
+// execution model.
+#include <gtest/gtest.h>
+
+#include "machine/catalog.hpp"
+#include "machine/embodied.hpp"
+#include "machine/perf.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+namespace mc = ga::machine;
+
+// ---------------------------------------------------------------- catalog
+TEST(Catalog, HasAllTenMachines) {
+    EXPECT_EQ(mc::catalog().size(), 10u);
+    EXPECT_EQ(mc::chameleon_cpu_nodes().size(), 4u);
+    EXPECT_EQ(mc::simulation_machines().size(), 4u);
+    EXPECT_EQ(mc::gpu_nodes().size(), 3u);
+}
+
+TEST(Catalog, LookupByIdAndName) {
+    const auto& theta = mc::find(mc::CatalogId::Theta);
+    EXPECT_EQ(theta.node.name, "Theta");
+    EXPECT_EQ(&mc::find("Theta"), &theta);
+    EXPECT_THROW((void)mc::find("NoSuchMachine"), ga::util::RuntimeError);
+}
+
+TEST(Catalog, Table5SpecsMatchPaper) {
+    const auto& faster = mc::find(mc::CatalogId::Faster);
+    EXPECT_EQ(faster.node.total_cores(), 64);
+    EXPECT_DOUBLE_EQ(faster.node.cpu.tdp_w, 205.0);
+    EXPECT_DOUBLE_EQ(faster.node.idle_w(), 205.0);
+    EXPECT_DOUBLE_EQ(faster.avg_carbon_intensity, 389.0);
+
+    const auto& desktop = mc::find(mc::CatalogId::Desktop);
+    EXPECT_EQ(desktop.node.total_cores(), 16);
+    EXPECT_DOUBLE_EQ(desktop.node.cpu.tdp_w, 65.0);
+    EXPECT_NEAR(desktop.node.idle_w(), 6.51, 1e-9);
+
+    const auto& ic = mc::find(mc::CatalogId::InstitutionalCluster);
+    EXPECT_EQ(ic.node.total_cores(), 48);
+    EXPECT_DOUBLE_EQ(ic.node.idle_w(), 136.0);
+
+    const auto& theta = mc::find(mc::CatalogId::Theta);
+    EXPECT_EQ(theta.node.total_cores(), 64);
+    EXPECT_DOUBLE_EQ(theta.node.cpu.tdp_w, 215.0);
+    EXPECT_DOUBLE_EQ(theta.node.idle_w(), 110.0);
+    EXPECT_DOUBLE_EQ(theta.avg_carbon_intensity, 502.0);
+}
+
+TEST(Catalog, Table2GpuSpecsMatchPaper) {
+    const auto gpus = mc::gpu_nodes();
+    EXPECT_DOUBLE_EQ(gpus[0].node.gpu.gflops, 6700.0);
+    EXPECT_DOUBLE_EQ(gpus[1].node.gpu.gflops, 14000.0);
+    EXPECT_DOUBLE_EQ(gpus[2].node.gpu.gflops, 18000.0);
+    EXPECT_DOUBLE_EQ(gpus[0].node.gpu.tdp_w, 250.0);
+    EXPECT_DOUBLE_EQ(gpus[2].node.gpu.tdp_w, 400.0);
+    EXPECT_EQ(gpus[0].node.gpu.year, 2018);
+    EXPECT_EQ(gpus[1].node.gpu.year, 2019);
+    EXPECT_EQ(gpus[2].node.gpu.year, 2021);
+    for (const auto& g : gpus) EXPECT_DOUBLE_EQ(g.avg_carbon_intensity, 53.0);
+}
+
+TEST(Catalog, TdpPerCore) {
+    const auto& desktop = mc::find(mc::CatalogId::Desktop);
+    EXPECT_NEAR(desktop.node.tdp_per_core_w(), 65.0 / 16.0, 1e-12);
+    const auto& cl = mc::find(mc::CatalogId::CascadeLake);
+    EXPECT_NEAR(cl.node.tdp_per_core_w(), 2.0 * 205.0 / 48.0, 1e-12);
+}
+
+TEST(Catalog, AgesMatchTable4) {
+    EXPECT_DOUBLE_EQ(mc::find(mc::CatalogId::Desktop).age_years(), 3.0);
+    EXPECT_DOUBLE_EQ(mc::find(mc::CatalogId::CascadeLake).age_years(), 4.0);
+    EXPECT_DOUBLE_EQ(mc::find(mc::CatalogId::IceLake).age_years(), 2.0);
+    EXPECT_DOUBLE_EQ(mc::find(mc::CatalogId::Zen3).age_years(), 1.0);
+}
+
+// ---------------------------------------------------------------- embodied
+TEST(Embodied, ComponentsSumToTotal) {
+    const auto& e = mc::find(mc::CatalogId::InstitutionalCluster);
+    const auto est = e.embodied();
+    EXPECT_NEAR(est.total_kg(),
+                est.platform_kg + est.cpu_kg + est.dram_kg + est.ssd_kg +
+                    est.gpu_kg,
+                1e-9);
+    EXPECT_GT(est.dram_kg, 0.0);
+    EXPECT_DOUBLE_EQ(est.gpu_kg, 0.0);  // CPU node
+}
+
+TEST(Embodied, GpuNodesIncludeDevices) {
+    const auto& a100 = mc::find(mc::CatalogId::A100Node);
+    const auto est = a100.embodied();
+    EXPECT_NEAR(est.gpu_kg, 8 * 400.0, 1e-9);
+}
+
+TEST(Embodied, ScalesWithComponents) {
+    mc::EmbodiedInput small{mc::find(mc::CatalogId::Desktop).node, 100.0};
+    mc::EmbodiedInput big = small;
+    big.node.dram_gb *= 4.0;
+    EXPECT_GT(mc::estimate_embodied(big).total_kg(),
+              mc::estimate_embodied(small).total_kg());
+}
+
+// ---------------------------------------------------------------- perf model
+TEST(PerfModel, ComputeBoundRuntimeMatchesRate) {
+    const mc::CpuPerfModel model;
+    const auto& desktop = mc::find(mc::CatalogId::Desktop);
+    mc::WorkProfile p;
+    p.flops = 10e9;  // exactly one second at 10 GFlop/s/core
+    p.mem_bytes = 1.0;
+    p.parallel_fraction = 1.0;
+    const auto est = model.execute(p, desktop.node, 1);
+    EXPECT_NEAR(est.seconds, 1.0, 1e-9);
+    EXPECT_NEAR(est.activity, 1.0, 1e-6);
+    EXPECT_NEAR(est.joules, desktop.node.cpu.active_watts_per_core, 1e-6);
+}
+
+TEST(PerfModel, MemoryBoundRuntimeMatchesBandwidth) {
+    const mc::CpuPerfModel model;
+    const auto& desktop = mc::find(mc::CatalogId::Desktop);
+    const double core_bw = desktop.node.cpu.mem_bw_gbs * 1e9 / 16.0;
+    mc::WorkProfile p;
+    p.flops = 1.0;
+    p.mem_bytes = core_bw;  // one second of memory traffic
+    p.parallel_fraction = 1.0;
+    const auto est = model.execute(p, desktop.node, 1);
+    EXPECT_NEAR(est.seconds, 1.0, 1e-9);
+    EXPECT_LT(est.activity, 0.6);  // memory-bound draws less power
+}
+
+TEST(PerfModel, AmdahlSpeedupBounded) {
+    const mc::CpuPerfModel model;
+    const auto& ic = mc::find(mc::CatalogId::InstitutionalCluster);
+    mc::WorkProfile p;
+    p.flops = 1e12;
+    p.mem_bytes = 1e6;
+    p.parallel_fraction = 0.9;
+    const double t1 = model.execute(p, ic.node, 1).seconds;
+    const double t16 = model.execute(p, ic.node, 16).seconds;
+    const double t48 = model.execute(p, ic.node, 48).seconds;
+    EXPECT_GT(t1 / t16, 1.0);
+    EXPECT_GT(t16, t48);                 // more cores still help
+    EXPECT_LT(t1 / t48, 10.0);           // bounded by 1/(1-p) = 10
+    EXPECT_GT(t1 / t48, 5.0);            // but substantial
+}
+
+TEST(PerfModel, MonotonicInWork) {
+    const mc::CpuPerfModel model;
+    const auto& zen = mc::find(mc::CatalogId::Zen3);
+    mc::WorkProfile small{1e9, 1e6, 0.9};
+    mc::WorkProfile big{2e9, 2e6, 0.9};
+    EXPECT_LT(model.execute(small, zen.node, 4).seconds,
+              model.execute(big, zen.node, 4).seconds);
+    EXPECT_LT(model.execute(small, zen.node, 4).joules,
+              model.execute(big, zen.node, 4).joules);
+}
+
+TEST(PerfModel, IdleShareProportionalToCores) {
+    const mc::CpuPerfModel model;
+    const auto& theta = mc::find(mc::CatalogId::Theta);
+    mc::WorkProfile p{1e10, 1e6, 1.0};
+    const auto one = model.execute(p, theta.node, 1);
+    // Same work on 2 cores: half the time, so the 2x core share cancels.
+    const auto two = model.execute(p, theta.node, 2);
+    EXPECT_NEAR(two.idle_share_j, one.idle_share_j, one.idle_share_j * 0.01);
+}
+
+TEST(PerfModel, EfficiencyOrderingFasterBeatsTheta) {
+    // FASTER is the most efficient simulation machine per flop; Theta the
+    // least (paper §5.4 relies on this ordering).
+    const double f =
+        mc::CpuPerfModel::joules_per_flop(mc::find(mc::CatalogId::Faster).node);
+    const double t =
+        mc::CpuPerfModel::joules_per_flop(mc::find(mc::CatalogId::Theta).node);
+    const double ic = mc::CpuPerfModel::joules_per_flop(
+        mc::find(mc::CatalogId::InstitutionalCluster).node);
+    EXPECT_LT(f, ic);
+    EXPECT_LT(ic, t);
+}
+
+TEST(PerfModel, RejectsBadInput) {
+    const mc::CpuPerfModel model;
+    const auto& desktop = mc::find(mc::CatalogId::Desktop);
+    mc::WorkProfile p{1e9, 1e6, 0.9};
+    EXPECT_THROW((void)model.execute(p, desktop.node, 0),
+                 ga::util::PreconditionError);
+    EXPECT_THROW((void)model.execute(p, desktop.node, 17),
+                 ga::util::PreconditionError);
+    p.parallel_fraction = 1.5;
+    EXPECT_THROW((void)model.execute(p, desktop.node, 1),
+                 ga::util::PreconditionError);
+}
+
+// Parameterized: model invariants hold on every catalog machine.
+class AllMachines : public ::testing::TestWithParam<mc::CatalogId> {};
+
+TEST_P(AllMachines, ExecutionEstimatesArePhysical) {
+    const mc::CpuPerfModel model;
+    const auto& entry = mc::find(GetParam());
+    mc::WorkProfile p{5e9, 2e9, 0.9};
+    const auto est = model.execute(p, entry.node, 1);
+    EXPECT_GT(est.seconds, 0.0);
+    EXPECT_GT(est.joules, 0.0);
+    EXPECT_GE(est.activity, 0.5);
+    EXPECT_LE(est.activity, 1.0);
+    // Per-core draw cannot exceed the active per-core rating.
+    EXPECT_LE(est.avg_watts, entry.node.cpu.active_watts_per_core + 1e-9);
+    EXPECT_GT(entry.embodied().total_kg(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, AllMachines,
+    ::testing::Values(mc::CatalogId::Desktop, mc::CatalogId::CascadeLake,
+                      mc::CatalogId::IceLake, mc::CatalogId::Zen3,
+                      mc::CatalogId::Faster, mc::CatalogId::InstitutionalCluster,
+                      mc::CatalogId::Theta, mc::CatalogId::P100Node,
+                      mc::CatalogId::V100Node, mc::CatalogId::A100Node));
+
+}  // namespace

@@ -1,0 +1,202 @@
+// Tests for the ML substrates: the GMM (EM) and the KNN regressor used by
+// the §5.2 workload pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/gmm.hpp"
+#include "stats/knn.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace st = ga::stats;
+
+std::vector<double> two_cluster_data(std::size_t n_per, ga::util::Rng& rng) {
+    std::vector<double> rows;
+    for (std::size_t i = 0; i < n_per; ++i) {
+        rows.push_back(rng.normal(-4.0, 0.6));
+        rows.push_back(rng.normal(-4.0, 0.6));
+    }
+    for (std::size_t i = 0; i < n_per; ++i) {
+        rows.push_back(rng.normal(4.0, 0.8));
+        rows.push_back(rng.normal(4.0, 0.8));
+    }
+    return rows;
+}
+
+TEST(Gmm, RecoversTwoClusters) {
+    ga::util::Rng rng(1);
+    const auto data = two_cluster_data(600, rng);
+    st::GmmOptions opt;
+    opt.n_components = 2;
+    const auto model = st::Gmm::fit(data, 2, opt);
+
+    ASSERT_EQ(model.components().size(), 2u);
+    std::vector<double> mean0 = model.components()[0].mean;
+    std::vector<double> mean1 = model.components()[1].mean;
+    if (mean0[0] > mean1[0]) std::swap(mean0, mean1);
+    EXPECT_NEAR(mean0[0], -4.0, 0.3);
+    EXPECT_NEAR(mean1[0], 4.0, 0.3);
+    EXPECT_NEAR(model.components()[0].weight + model.components()[1].weight, 1.0,
+                1e-9);
+}
+
+TEST(Gmm, LogLikelihoodMonotonicallyImproves) {
+    ga::util::Rng rng(2);
+    const auto data = two_cluster_data(300, rng);
+    st::GmmOptions opt;
+    opt.n_components = 2;
+    const auto model = st::Gmm::fit(data, 2, opt);
+    const auto& trace = model.training_trace();
+    ASSERT_GE(trace.size(), 2u);
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        EXPECT_GE(trace[i], trace[i - 1] - 1e-8) << "EM step " << i;
+    }
+}
+
+TEST(Gmm, DensityHigherAtClusterCenter) {
+    ga::util::Rng rng(3);
+    const auto data = two_cluster_data(400, rng);
+    st::GmmOptions opt;
+    opt.n_components = 2;
+    const auto model = st::Gmm::fit(data, 2, opt);
+    const std::vector<double> center = {-4.0, -4.0};
+    const std::vector<double> nowhere = {0.0, 0.0};
+    EXPECT_GT(model.log_pdf(center), model.log_pdf(nowhere));
+}
+
+TEST(Gmm, SamplesFollowMixture) {
+    ga::util::Rng rng(4);
+    const auto data = two_cluster_data(500, rng);
+    st::GmmOptions opt;
+    opt.n_components = 2;
+    const auto model = st::Gmm::fit(data, 2, opt);
+    ga::util::Rng srng(5);
+    int low = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        if (model.sample(srng)[0] < 0.0) ++low;
+    }
+    EXPECT_NEAR(static_cast<double>(low) / n, 0.5, 0.06);
+}
+
+TEST(Gmm, SamplingIsDeterministicGivenRng) {
+    ga::util::Rng rng(6);
+    const auto data = two_cluster_data(200, rng);
+    st::GmmOptions opt;
+    opt.n_components = 2;
+    const auto model = st::Gmm::fit(data, 2, opt);
+    ga::util::Rng a(7);
+    ga::util::Rng b(7);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(model.sample(a), model.sample(b));
+    }
+}
+
+TEST(Gmm, RejectsBadInputs) {
+    st::GmmOptions opt;
+    opt.n_components = 5;
+    const std::vector<double> tiny = {1.0, 2.0};  // one 2-d row
+    EXPECT_THROW((void)st::Gmm::fit(tiny, 2, opt), ga::util::PreconditionError);
+}
+
+// Parameterized sweep: EM converges for a range of component counts.
+class GmmComponentSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GmmComponentSweep, FitConvergesAndWeightsNormalize) {
+    ga::util::Rng rng(8);
+    const auto data = two_cluster_data(400, rng);
+    st::GmmOptions opt;
+    opt.n_components = GetParam();
+    const auto model = st::Gmm::fit(data, 2, opt);
+    double total_weight = 0.0;
+    for (const auto& c : model.components()) {
+        EXPECT_GE(c.weight, 0.0);
+        total_weight += c.weight;
+    }
+    EXPECT_NEAR(total_weight, 1.0, 1e-9);
+    EXPECT_TRUE(std::isfinite(model.log_pdf({0.0, 0.0})));
+}
+
+INSTANTIATE_TEST_SUITE_P(Components, GmmComponentSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u));
+
+// ---------------------------------------------------------------- knn
+TEST(Knn, ExactNeighborWinsWithK1) {
+    const std::vector<double> features = {0, 0, 1, 1, 2, 2};  // 3 rows, dim 2
+    const std::vector<double> targets = {10, 20, 30};
+    const st::KnnRegressor knn(features, 2, targets, 1, 1);
+    EXPECT_DOUBLE_EQ(knn.predict({1.0, 1.0})[0], 20.0);
+    EXPECT_EQ(knn.neighbors({2.0, 2.0})[0], 2u);
+}
+
+TEST(Knn, UniformAveragesNeighbors) {
+    const std::vector<double> features = {0, 0, 2, 0, 1, 10};
+    const std::vector<double> targets = {10, 30, 1000};
+    const st::KnnRegressor knn(features, 2, targets, 1, 2,
+                               st::KnnWeighting::Uniform);
+    // The two nearest rows to (1, 0) are rows 0 and 1.
+    EXPECT_DOUBLE_EQ(knn.predict({1.0, 0.0})[0], 20.0);
+}
+
+TEST(Knn, InverseDistanceWeighting) {
+    const std::vector<double> features = {0.0, 10.0};
+    const std::vector<double> targets = {0.0, 100.0};
+    const st::KnnRegressor knn(features, 1, targets, 1, 2,
+                               st::KnnWeighting::InverseDistance);
+    // Query very close to row 0 should be pulled toward 0.
+    EXPECT_LT(knn.predict({0.5})[0], 30.0);
+}
+
+TEST(Knn, StandardizationMakesScalesComparable) {
+    // Feature 1 has a huge scale; without standardization it would dominate.
+    const std::vector<double> features = {0.0, 0.0, 1.0, 1e6, 0.9, 0.0};
+    const std::vector<double> targets = {1.0, 2.0, 3.0};
+    const st::KnnRegressor knn(features, 2, targets, 1, 1);
+    // (0.95, 0): nearest by standardized distance is row 2, not row 1.
+    EXPECT_DOUBLE_EQ(knn.predict({0.95, 0.0})[0], 3.0);
+}
+
+TEST(Knn, MultiOutput) {
+    const std::vector<double> features = {0, 1};
+    const std::vector<double> targets = {1, 2, 3, 4};  // 2 rows x 2 outputs
+    const st::KnnRegressor knn(features, 1, targets, 2, 1);
+    const auto out = knn.predict({0.9});
+    EXPECT_DOUBLE_EQ(out[0], 3.0);
+    EXPECT_DOUBLE_EQ(out[1], 4.0);
+}
+
+TEST(Knn, RejectsBadK) {
+    const std::vector<double> features = {0, 1};
+    const std::vector<double> targets = {1, 2};
+    EXPECT_THROW(st::KnnRegressor(features, 1, targets, 1, 3),
+                 ga::util::PreconditionError);
+}
+
+// Parameterized: KNN regression error shrinks as k approaches a sensible
+// small value on smooth data.
+class KnnKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KnnKSweep, SmoothFunctionRegression) {
+    ga::util::Rng rng(9);
+    std::vector<double> features;
+    std::vector<double> targets;
+    for (int i = 0; i < 400; ++i) {
+        const double x = rng.uniform(0.0, 6.28);
+        features.push_back(x);
+        targets.push_back(std::sin(x));
+    }
+    const st::KnnRegressor knn(features, 1, targets, 1, GetParam());
+    double max_err = 0.0;
+    for (double q = 0.5; q < 6.0; q += 0.5) {
+        max_err = std::max(max_err, std::abs(knn.predict({q})[0] - std::sin(q)));
+    }
+    EXPECT_LT(max_err, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnKSweep, ::testing::Values(1u, 3u, 5u, 9u));
+
+}  // namespace

@@ -1,0 +1,267 @@
+// Unit tests for ga_stats: descriptive stats, special functions, hypothesis
+// tests, correlation, regression, histogram, bootstrap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/bootstrap.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "stats/hypothesis.hpp"
+#include "stats/regression.hpp"
+#include "stats/special.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace st = ga::stats;
+
+// ---------------------------------------------------------------- descriptive
+TEST(Descriptive, MeanVarianceKnown) {
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(st::mean(xs), 5.0);
+    EXPECT_NEAR(st::variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, QuantilesAndMedian) {
+    const std::vector<double> xs = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(st::median(xs), 3.0);
+    EXPECT_DOUBLE_EQ(st::quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(st::quantile(xs, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(st::quantile(xs, 0.25), 2.0);
+}
+
+TEST(Descriptive, KahanSumHandlesCancellation) {
+    std::vector<double> xs;
+    for (int i = 0; i < 10000; ++i) {
+        xs.push_back(1e16);
+        xs.push_back(1.0);
+        xs.push_back(-1e16);
+    }
+    EXPECT_DOUBLE_EQ(st::sum(xs), 10000.0);
+}
+
+TEST(Descriptive, SummaryConsistent) {
+    const std::vector<double> xs = {3, 1, 4, 1, 5, 9, 2, 6};
+    const auto s = st::summarize(xs);
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+    EXPECT_NEAR(s.mean, st::mean(xs), 1e-12);
+    EXPECT_LE(s.q25, s.median);
+    EXPECT_LE(s.median, s.q75);
+}
+
+TEST(Descriptive, RunningStatsMatchesBatch) {
+    const std::vector<double> xs = {0.5, 1.5, -2.0, 3.25, 8.0, -1.0};
+    st::RunningStats rs;
+    for (const double x : xs) rs.add(x);
+    EXPECT_NEAR(rs.mean(), st::mean(xs), 1e-12);
+    EXPECT_NEAR(rs.variance(), st::variance(xs), 1e-12);
+}
+
+TEST(Descriptive, EmptyInputsThrow) {
+    const std::vector<double> empty;
+    EXPECT_THROW((void)st::mean(empty), ga::util::PreconditionError);
+    EXPECT_THROW((void)st::median(empty), ga::util::PreconditionError);
+}
+
+// ---------------------------------------------------------------- special
+TEST(Special, IncompleteBetaKnownValues) {
+    // I_x(1,1) = x.
+    EXPECT_NEAR(st::incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-12);
+    // I_x(2,2) = x^2 (3 - 2x).
+    EXPECT_NEAR(st::incomplete_beta(2.0, 2.0, 0.4), 0.16 * (3 - 0.8), 1e-10);
+    EXPECT_DOUBLE_EQ(st::incomplete_beta(2.0, 3.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(st::incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(Special, StudentTCdfSymmetry) {
+    EXPECT_NEAR(st::student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+    EXPECT_NEAR(st::student_t_cdf(1.5, 7.0) + st::student_t_cdf(-1.5, 7.0), 1.0,
+                1e-10);
+}
+
+TEST(Special, StudentTCdfMatchesTables) {
+    // t = 2.776, df = 4 is the 97.5th percentile.
+    EXPECT_NEAR(st::student_t_cdf(2.776, 4.0), 0.975, 1e-3);
+    // Large df converges to the normal CDF.
+    EXPECT_NEAR(st::student_t_cdf(1.96, 1e6), st::normal_cdf(1.96), 1e-4);
+}
+
+TEST(Special, NormalCdfKnown) {
+    EXPECT_NEAR(st::normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(st::normal_cdf(1.96), 0.975, 1e-3);
+}
+
+// ---------------------------------------------------------------- hypothesis
+TEST(Hypothesis, WelchDetectsSeparatedGroups) {
+    ga::util::Rng rng(42);
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 50; ++i) {
+        a.push_back(rng.normal(0.0, 1.0));
+        b.push_back(rng.normal(2.0, 1.5));
+    }
+    const auto r = st::welch_t_test(a, b);
+    EXPECT_LT(r.p_value, 1e-6);
+    EXPECT_LT(r.statistic, 0.0);
+}
+
+TEST(Hypothesis, WelchNullNotSignificant) {
+    ga::util::Rng rng(43);
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 200; ++i) {
+        a.push_back(rng.normal(1.0, 1.0));
+        b.push_back(rng.normal(1.0, 1.0));
+    }
+    const auto r = st::welch_t_test(a, b);
+    EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Hypothesis, MannWhitneyDetectsShift) {
+    ga::util::Rng rng(44);
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 60; ++i) {
+        a.push_back(rng.lognormal(0.0, 0.5));
+        b.push_back(rng.lognormal(1.0, 0.5));
+    }
+    EXPECT_LT(st::mann_whitney_u(a, b).p_value, 1e-5);
+}
+
+TEST(Hypothesis, MannWhitneyAllTied) {
+    const std::vector<double> a = {1.0, 1.0, 1.0};
+    const std::vector<double> b = {1.0, 1.0};
+    EXPECT_DOUBLE_EQ(st::mann_whitney_u(a, b).p_value, 1.0);
+}
+
+TEST(Hypothesis, CohensDSign) {
+    const std::vector<double> a = {5, 6, 7, 8};
+    const std::vector<double> b = {1, 2, 3, 4};
+    EXPECT_GT(st::cohens_d(a, b), 1.0);
+    EXPECT_LT(st::cohens_d(b, a), -1.0);
+}
+
+// ---------------------------------------------------------------- correlation
+TEST(Correlation, PerfectLinear) {
+    const std::vector<double> x = {1, 2, 3, 4, 5};
+    const std::vector<double> y = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(st::pearson(x, y), 1.0, 1e-12);
+    std::vector<double> neg(y.rbegin(), y.rend());
+    EXPECT_NEAR(st::pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Correlation, SpearmanMonotonicNonlinear) {
+    const std::vector<double> x = {1, 2, 3, 4, 5};
+    const std::vector<double> y = {1, 8, 27, 64, 125};  // monotone, nonlinear
+    EXPECT_NEAR(st::spearman(x, y), 1.0, 1e-12);
+    EXPECT_LT(st::pearson(x, y), 1.0);
+}
+
+TEST(Correlation, IndependentNearZero) {
+    ga::util::Rng rng(45);
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 2000; ++i) {
+        x.push_back(rng.normal());
+        y.push_back(rng.normal());
+    }
+    EXPECT_NEAR(st::pearson(x, y), 0.0, 0.05);
+    EXPECT_GT(st::pearson_p_value(st::pearson(x, y), x.size()), 0.01);
+}
+
+// ---------------------------------------------------------------- regression
+TEST(Regression, SimpleExactLine) {
+    const std::vector<double> x = {0, 1, 2, 3};
+    const std::vector<double> y = {1, 3, 5, 7};  // y = 2x + 1
+    const auto fit = st::simple_regression(x, y);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, MultiFeatureRecoversCoefficients) {
+    // y = 3*x0 - 2*x1 + 5 with noise-free data.
+    std::vector<double> rows;
+    std::vector<double> y;
+    ga::util::Rng rng(46);
+    for (int i = 0; i < 50; ++i) {
+        const double x0 = rng.uniform(0, 10);
+        const double x1 = rng.uniform(0, 10);
+        rows.push_back(x0);
+        rows.push_back(x1);
+        y.push_back(3.0 * x0 - 2.0 * x1 + 5.0);
+    }
+    const auto fit = st::ols_fit(rows, 2, y);
+    EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-9);
+    EXPECT_NEAR(fit.coefficients[1], -2.0, 1e-9);
+    EXPECT_NEAR(fit.intercept, 5.0, 1e-8);
+    EXPECT_NEAR(fit.predict({1.0, 1.0}), 6.0, 1e-8);
+}
+
+TEST(Regression, CollinearFeaturesHandledByRidge) {
+    std::vector<double> rows;
+    std::vector<double> y;
+    for (int i = 0; i < 20; ++i) {
+        const double x = i;
+        rows.push_back(x);
+        rows.push_back(2.0 * x);  // perfectly collinear
+        y.push_back(x);
+    }
+    const auto fit = st::ols_fit(rows, 2, y);  // must not throw
+    EXPECT_NEAR(fit.predict({5.0, 10.0}), 5.0, 1e-3);
+}
+
+TEST(Regression, SolveSpdKnownSystem) {
+    // [[4,1],[1,3]] x = [1,2] -> x = [1/11, 7/11].
+    const auto x = st::solve_spd({4, 1, 1, 3}, 2, {1, 2});
+    EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-12);
+    EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- histogram
+TEST(Histogram, BinningAndClamping) {
+    st::Histogram h(0.0, 10.0, 5);
+    h.add(0.5);
+    h.add(9.9);
+    h.add(-100.0);  // clamps into first bin
+    h.add(100.0);   // clamps into last bin
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(4), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+}
+
+// ---------------------------------------------------------------- bootstrap
+TEST(Bootstrap, MeanCiCoversTruth) {
+    ga::util::Rng rng(47);
+    std::vector<double> xs;
+    for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(10.0, 2.0));
+    const auto ci = st::bootstrap_ci(
+        xs, [](std::span<const double> s) { return st::mean(s); }, 2000, 0.95,
+        rng);
+    EXPECT_LT(ci.lo, 10.0);
+    EXPECT_GT(ci.hi, 10.0);
+    EXPECT_NEAR(ci.point, 10.0, 0.5);
+}
+
+TEST(Bootstrap, MeanDiffDetectsGap) {
+    ga::util::Rng rng(48);
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 100; ++i) {
+        a.push_back(rng.normal(5.0, 1.0));
+        b.push_back(rng.normal(3.0, 1.0));
+    }
+    const auto ci = st::bootstrap_mean_diff(a, b, 2000, 0.95, rng);
+    EXPECT_GT(ci.lo, 0.5);  // the interval excludes zero
+    EXPECT_NEAR(ci.point, 2.0, 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,260 @@
+// Tests for the user-study substrate: game mechanics, behavioral agents, and
+// the §6.2 findings on the simulated population.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/hypothesis.hpp"
+#include "study/agent.hpp"
+#include "study/game.hpp"
+#include "study/study.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+namespace st = ga::study;
+namespace stats = ga::stats;
+
+// ---------------------------------------------------------------- game
+TEST(Game, DeckIsFixedAcrossParticipants) {
+    const auto& a = st::Game::deck();
+    const auto& b = st::Game::deck();
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.size(), static_cast<std::size_t>(st::Game::kTotalJobs));
+    for (const auto& j : a) {
+        EXPECT_GE(j.priority, 0);
+        EXPECT_LE(j.priority, 3);
+        EXPECT_GT(j.base_time, 0.0);
+    }
+}
+
+TEST(Game, EnergyVisibilityByVersion) {
+    const st::Game v1(st::Version::V1);
+    const st::Game v2(st::Version::V2);
+    const st::Game v3(st::Version::V3);
+    EXPECT_FALSE(v1.quote(0, 0).energy.has_value());
+    EXPECT_TRUE(v2.quote(0, 0).energy.has_value());
+    EXPECT_TRUE(v3.quote(0, 0).energy.has_value());
+}
+
+TEST(Game, V1V2CostsEqualAndRuntimeProportional) {
+    const st::Game v1(st::Version::V1);
+    const st::Game v2(st::Version::V2);
+    for (int j = 0; j < 6; ++j) {
+        for (int m = 0; m < st::Game::kMachines; ++m) {
+            EXPECT_DOUBLE_EQ(v1.quote(j, m).cost, v2.quote(j, m).cost);
+            EXPECT_DOUBLE_EQ(v1.quote(j, m).cost, v1.quote(j, m).time_ticks);
+        }
+    }
+}
+
+TEST(Game, V3CostTracksEnergy) {
+    // Under EBA pricing, the efficient machine must be cheaper than the
+    // legacy machine for the same job, even though it is slower.
+    const st::Game v3(st::Version::V3);
+    const auto efficient = v3.quote(0, 2);  // frugal machine
+    const auto legacy = v3.quote(0, 3);     // legacy machine
+    EXPECT_LT(efficient.cost, legacy.cost);
+    EXPECT_GT(efficient.time_ticks, v3.quote(0, 0).time_ticks);
+}
+
+TEST(Game, ScheduleConsumesAllocationAndRevealsJobs) {
+    st::Game g(st::Version::V1);
+    const double alloc0 = g.allocation_left();
+    EXPECT_EQ(g.visible_jobs().size(),
+              static_cast<std::size_t>(st::Game::kInitialVisible));
+    ASSERT_TRUE(g.schedule(0, 0));
+    EXPECT_LT(g.allocation_left(), alloc0);
+    // Job 0 is gone but a new job was revealed.
+    EXPECT_EQ(g.visible_jobs().size(),
+              static_cast<std::size_t>(st::Game::kInitialVisible));
+    EXPECT_FALSE(g.machine_free(0));
+    EXPECT_FALSE(g.schedule(1, 0));  // machine busy
+    EXPECT_FALSE(g.schedule(0, 1));  // already scheduled
+}
+
+TEST(Game, AdvanceCompletesJobs) {
+    st::Game g(st::Version::V1);
+    ASSERT_TRUE(g.schedule(0, 0));
+    const double ticks = g.quote(1, 0).time_ticks;  // any positive bound
+    (void)ticks;
+    int guard = 0;
+    while (!g.machine_free(0) && guard++ < 100) g.advance();
+    EXPECT_EQ(g.jobs_completed(), 1);
+    EXPECT_GT(g.energy_used(), 0.0);
+    ASSERT_EQ(g.completions().size(), 1u);
+    EXPECT_EQ(g.completions()[0].job_id, 0);
+}
+
+TEST(Game, TimeLimitEndsGame) {
+    st::Game g(st::Version::V1);
+    for (int i = 0; i < 100; ++i) g.advance();
+    EXPECT_TRUE(g.over());
+    EXPECT_LE(g.time_left(), 0.0);
+}
+
+TEST(Game, RejectsOutOfRange) {
+    st::Game g(st::Version::V1);
+    EXPECT_THROW((void)g.quote(99, 0), ga::util::PreconditionError);
+    EXPECT_THROW((void)g.quote(0, 9), ga::util::PreconditionError);
+}
+
+TEST(Game, TrueEnergyIndependentOfVersion) {
+    const auto& job = st::Game::deck()[0];
+    const double e = st::Game::true_energy(job, 1);
+    EXPECT_GT(e, 0.0);
+    // Energy shown in V2 equals ground truth.
+    const st::Game v2(st::Version::V2);
+    EXPECT_DOUBLE_EQ(*v2.quote(0, 1).energy, e);
+}
+
+// ---------------------------------------------------------------- agent
+TEST(Agent, PlaysValidGames) {
+    ga::util::Rng rng(5);
+    const auto traits = st::sample_traits(rng);
+    const auto game = st::play_game(st::Version::V1, traits, rng);
+    EXPECT_TRUE(game.over() || game.jobs_completed() >= 0);
+    EXPECT_GE(game.jobs_completed(), 0);
+    EXPECT_LE(game.jobs_completed(), st::Game::kTotalJobs);
+    EXPECT_GE(game.allocation_left(), -1e-9);
+}
+
+TEST(Agent, CompletesASensibleNumberOfJobs) {
+    ga::util::Rng rng(6);
+    double total = 0.0;
+    for (int i = 0; i < 30; ++i) {
+        auto r = rng.split(i);
+        const auto traits = st::sample_traits(r);
+        total += st::play_game(st::Version::V1, traits, r).jobs_completed();
+    }
+    const double mean_jobs = total / 30.0;
+    EXPECT_GT(mean_jobs, 8.0);
+    EXPECT_LT(mean_jobs, 20.0);
+}
+
+// ---------------------------------------------------------------- study
+class StudyFixture : public ::testing::Test {
+protected:
+    static const st::StudyResults& results() {
+        static const st::StudyResults r = [] {
+            st::StudyOptions o;
+            o.participants = 120;  // a bit larger for statistical stability
+            o.seed = 7;
+            return st::run_study(o);
+        }();
+        return r;
+    }
+};
+
+TEST_F(StudyFixture, InstancesRetainedAndDiscarded) {
+    const auto& r = results();
+    EXPECT_EQ(r.discarded_first_plays, 120u);
+    EXPECT_GT(r.instances.size(), 100u);
+    for (const auto& inst : r.instances) {
+        EXPECT_GE(inst.jobs_completed, 0);
+        EXPECT_LE(inst.jobs_completed, st::Game::kTotalJobs);
+    }
+}
+
+TEST_F(StudyFixture, V3UsesSignificantlyLessEnergyThanV1) {
+    // Paper Fig 9a: V3 significantly lower than V1 (p = 0.00).
+    const auto v1 = results().energy_by_version(st::Version::V1);
+    const auto v3 = results().energy_by_version(st::Version::V3);
+    ASSERT_GE(v1.size(), 10u);
+    ASSERT_GE(v3.size(), 10u);
+    EXPECT_LT(stats::mean(v3), 0.8 * stats::mean(v1));
+    EXPECT_LT(stats::welch_t_test(v1, v3).p_value, 0.01);
+}
+
+TEST_F(StudyFixture, EnergyDisplayAloneChangesNothing) {
+    // Paper: no significant difference between V1 (control) and V2.
+    const auto v1 = results().energy_by_version(st::Version::V1);
+    const auto v2 = results().energy_by_version(st::Version::V2);
+    const auto t = stats::welch_t_test(v1, v2);
+    EXPECT_GT(t.p_value, 0.05);
+    EXPECT_NEAR(stats::mean(v2) / stats::mean(v1), 1.0, 0.15);
+}
+
+TEST_F(StudyFixture, V3CompletesFewerJobs) {
+    // Paper Fig 9b: 9.7 jobs under V3 vs 14.5/14.9 under V1/V2.
+    const auto v1 = results().jobs_by_version(st::Version::V1);
+    const auto v3 = results().jobs_by_version(st::Version::V3);
+    EXPECT_LT(stats::mean(v3), stats::mean(v1) - 1.0);
+}
+
+TEST_F(StudyFixture, PerJobEnergyLowerUnderV3) {
+    // Paper §6.2: "for 16 of the 20 jobs, the average energy used by
+    // participants in V3 was the lowest" — V3 players pick efficient
+    // machines. Require a clear majority.
+    const auto per_job = results().per_job_stats();
+    int v3_lowest = 0;
+    int comparable = 0;
+    for (int j = 0; j < st::Game::kTotalJobs; ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        const auto& s1 = per_job[0][ju];
+        const auto& s2 = per_job[1][ju];
+        const auto& s3 = per_job[2][ju];
+        if (s1.times_run == 0 || s2.times_run == 0 || s3.times_run == 0) continue;
+        ++comparable;
+        if (s3.mean_energy <= s1.mean_energy && s3.mean_energy <= s2.mean_energy) {
+            ++v3_lowest;
+        }
+    }
+    ASSERT_GT(comparable, 10);
+    EXPECT_GT(static_cast<double>(v3_lowest) / comparable, 0.6);
+}
+
+TEST_F(StudyFixture, RunProbabilityUncorrelatedWithEnergy) {
+    // Paper Fig 10: energy use was not correlated with the probability of
+    // running a job in any version.
+    const auto per_job = results().per_job_stats();
+    for (std::size_t v = 0; v < 3; ++v) {
+        std::vector<double> prob;
+        std::vector<double> energy;
+        for (const auto& s : per_job[v]) {
+            if (s.times_seen < 5 || s.times_run == 0) continue;
+            prob.push_back(s.run_probability);
+            energy.push_back(s.mean_energy);
+        }
+        ASSERT_GE(prob.size(), 8u);
+        const double r = stats::pearson(prob, energy);
+        EXPECT_GT(stats::pearson_p_value(r, prob.size()), 0.01)
+            << "version " << (v + 1) << " r=" << r;
+    }
+}
+
+TEST(Study, DeterministicInSeed) {
+    st::StudyOptions o;
+    o.participants = 20;
+    o.seed = 99;
+    const auto a = st::run_study(o);
+    const auto b = st::run_study(o);
+    ASSERT_EQ(a.instances.size(), b.instances.size());
+    for (std::size_t i = 0; i < a.instances.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.instances[i].energy_used, b.instances[i].energy_used);
+    }
+}
+
+// Parameterized: each version produces playable, bounded outcomes.
+class VersionSweep : public ::testing::TestWithParam<st::Version> {};
+
+TEST_P(VersionSweep, OutcomesBounded) {
+    ga::util::Rng rng(13);
+    for (int i = 0; i < 10; ++i) {
+        auto r = rng.split(i);
+        const auto traits = st::sample_traits(r);
+        const auto g = st::play_game(GetParam(), traits, r);
+        EXPECT_GE(g.energy_used(), 0.0);
+        EXPECT_LE(g.jobs_completed(), st::Game::kTotalJobs);
+        EXPECT_EQ(g.completions().size(),
+                  static_cast<std::size_t>(g.jobs_completed()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, VersionSweep,
+                         ::testing::Values(st::Version::V1, st::Version::V2,
+                                           st::Version::V3));
+
+}  // namespace

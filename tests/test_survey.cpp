@@ -1,0 +1,96 @@
+// Tests for the encoded survey aggregates (§2): internal consistency and
+// agreement with every statistic the paper's text states.
+#include <gtest/gtest.h>
+
+#include "study/survey.hpp"
+
+namespace {
+
+namespace st = ga::study;
+
+TEST(Survey, PopulationTotalsConsistent) {
+    const auto& p = st::population();
+    EXPECT_EQ(p.responses, 316);
+    EXPECT_EQ(p.completed_90pct, 192);
+    // Location counts sum to all responses.
+    EXPECT_EQ(p.located_europe + p.located_north_america + p.located_oceania +
+                  p.located_china + p.location_declined,
+              p.responses);
+    // Career-stage counts cover the substantially-complete respondents.
+    EXPECT_GE(p.grad_students + p.early_career + p.senior, p.completed_90pct);
+}
+
+TEST(Survey, AwarenessPercentagesMatchText) {
+    const auto& a = st::awareness();
+    const double n = 203.0;  // §2.2 percentages are of ~203 answering
+    EXPECT_NEAR(a.aware_node_hours / n, 0.73, 0.02);     // "73% (148)"
+    EXPECT_NEAR(a.reduced_node_hours / n, 0.70, 0.02);   // "70% (142)"
+    EXPECT_NEAR(a.aware_energy / 189.0, 0.27, 0.02);     // "27% (51)"
+    EXPECT_NEAR(a.reduced_energy / 180.0, 0.30, 0.02);   // "30% (54)"
+    EXPECT_NEAR(a.know_green500 / 184.0, 0.51, 0.02);    // "51% (94)"
+    EXPECT_NEAR(a.know_carbon_intensity / 183.0, 0.30, 0.02);
+}
+
+TEST(Survey, EnergyAwarenessGapIsLarge) {
+    // The paper's headline: node-hour awareness ~73% vs energy awareness ~27%.
+    const auto& a = st::awareness();
+    EXPECT_GT(a.aware_node_hours, 2 * a.aware_energy);
+}
+
+TEST(Survey, Fig1RowsPresentAndBounded) {
+    const auto& rows = st::fig1_metric_awareness();
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].metric, "Green500");
+    for (const auto& r : rows) {
+        EXPECT_GE(r.yes, 0);
+        EXPECT_GE(r.no, 0);
+        EXPECT_GE(r.not_applicable, 0);
+        EXPECT_LE(r.total(), st::population().completed_90pct + 10);
+        EXPECT_GE(r.total(), 150);
+    }
+}
+
+TEST(Survey, Green500OwnMachineAwarenessExact) {
+    // "of the 94 people familiar with the Green500 list, only 36 knew how
+    // the machine they were using performed".
+    const auto& rows = st::fig1_metric_awareness();
+    EXPECT_EQ(rows[0].yes, st::awareness().know_own_green500_rank);
+    EXPECT_EQ(rows[0].yes, 36);
+    EXPECT_LT(rows[0].yes, st::awareness().know_green500);
+}
+
+TEST(Survey, Fig2RowsMatchStatedAnchors) {
+    const auto& rows = st::fig2_factor_importance();
+    ASSERT_EQ(rows.size(), 8u);
+    // Performance very-important = 83 (46%); Energy very-important = 25 (12%).
+    const auto& perf = rows[2];
+    const auto& energy = rows[7];
+    EXPECT_EQ(perf.factor, "Performance");
+    EXPECT_EQ(perf.very_important, 83);
+    EXPECT_EQ(energy.factor, "Energy");
+    EXPECT_EQ(energy.very_important, 25);
+    EXPECT_NEAR(static_cast<double>(perf.very_important) / perf.total(), 0.46,
+                0.03);
+}
+
+TEST(Survey, EnergyIsLeastImportantFactor) {
+    // Fig 2's message: energy has the fewest "very important" ratings and the
+    // most "not important" ratings of any factor.
+    const auto& rows = st::fig2_factor_importance();
+    const auto& energy = rows.back();
+    for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+        EXPECT_GT(rows[i].very_important, energy.very_important) << rows[i].factor;
+        EXPECT_LT(rows[i].not_important, energy.not_important) << rows[i].factor;
+    }
+}
+
+TEST(Survey, Fig2RowTotalsComparable) {
+    // All factors were rated by roughly the same respondent pool.
+    const auto& rows = st::fig2_factor_importance();
+    const int t0 = rows[0].total();
+    for (const auto& r : rows) {
+        EXPECT_NEAR(r.total(), t0, 12);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+// Tests for the StarPU-like task runtime: DAG construction, tile cache,
+// scheduler invariants, and the Table-3 experiment shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "taskrt/cholesky_dag.hpp"
+#include "taskrt/device.hpp"
+#include "taskrt/experiment.hpp"
+#include "taskrt/scheduler.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+namespace tr = ga::taskrt;
+namespace mc = ga::machine;
+
+// ---------------------------------------------------------------- graph
+TEST(TaskGraph, DepthsFollowChains) {
+    tr::TaskGraph g(1.0);
+    const auto a = g.add_task(tr::Codelet::Generic, 1.0, {}, {0}, {0});
+    const auto b = g.add_task(tr::Codelet::Generic, 1.0, {a}, {0}, {1});
+    const auto c = g.add_task(tr::Codelet::Generic, 1.0, {b}, {1}, {2});
+    const auto d = g.add_task(tr::Codelet::Generic, 1.0, {}, {3}, {3});
+    const auto& depths = g.depths();
+    EXPECT_EQ(depths[a], 1u);
+    EXPECT_EQ(depths[b], 2u);
+    EXPECT_EQ(depths[c], 3u);
+    EXPECT_EQ(depths[d], 1u);
+}
+
+TEST(TaskGraph, RejectsForwardDependencies) {
+    tr::TaskGraph g(1.0);
+    EXPECT_THROW((void)g.add_task(tr::Codelet::Generic, 1.0, {5}, {}, {}),
+                 ga::util::PreconditionError);
+}
+
+TEST(CholeskyDag, TaskCountsMatchClosedForm) {
+    for (const int t : {1, 2, 4, 8, 21}) {
+        tr::TiledCholeskyConfig cfg;
+        cfg.tiles = t;
+        const auto g = tr::build_tiled_cholesky(cfg);
+        EXPECT_EQ(g.tasks().size(), tr::expected_task_count(t)) << "T=" << t;
+    }
+}
+
+TEST(CholeskyDag, TotalFlopsApproximateNCubedOverThree) {
+    tr::TiledCholeskyConfig cfg;  // 42 GB single precision, T=21
+    const auto g = tr::build_tiled_cholesky(cfg);
+    const double n = cfg.order();
+    EXPECT_NEAR(g.total_flops(), n * n * n / 3.0, n * n * n / 3.0 * 0.05);
+}
+
+TEST(CholeskyDag, CriticalPathLengthIsLinearInTiles) {
+    tr::TiledCholeskyConfig cfg;
+    cfg.tiles = 8;
+    const auto g = tr::build_tiled_cholesky(cfg);
+    std::uint32_t max_depth = 0;
+    for (const auto d : g.depths()) max_depth = std::max(max_depth, d);
+    // Tiled Cholesky's critical path is ~3T.
+    EXPECT_GE(max_depth, 2u * 8u);
+    EXPECT_LE(max_depth, 4u * 8u);
+}
+
+// ---------------------------------------------------------------- cache
+TEST(TileCache, LruEvictsOldest) {
+    tr::TileCache cache(2);
+    EXPECT_FALSE(cache.touch(1));
+    EXPECT_FALSE(cache.touch(2));
+    EXPECT_TRUE(cache.touch(1));   // 1 now most recent
+    EXPECT_FALSE(cache.touch(3));  // evicts 2
+    EXPECT_FALSE(cache.touch(2));  // 2 was evicted
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(TileCache, InvalidateRemoves) {
+    tr::TileCache cache(4);
+    (void)cache.touch(7);
+    cache.invalidate(7);
+    EXPECT_FALSE(cache.touch(7));
+    cache.invalidate(99);  // no-op for absent tiles
+}
+
+// ---------------------------------------------------------------- scheduler
+tr::NodeConfig two_generic_devices() {
+    tr::DeviceModel dev;
+    dev.spec = mc::GpuSpec{"TestGpu", 2020, 1000.0, 100.0, 10.0, 16.0, 100.0, 10.0};
+    dev.gemm_gflops_eff = 1.0;  // 1 GFlop/s -> times equal gigaflops
+    tr::NodeConfig cfg;
+    cfg.devices = {dev, dev};
+    cfg.host_power_w = 0.0;
+    cfg.staging_bw_gbs = 1e6;  // negligible staging
+    return cfg;
+}
+
+TEST(Scheduler, IndependentTasksRunInParallel) {
+    tr::TaskGraph g(1.0);
+    for (int i = 0; i < 8; ++i) {
+        (void)g.add_task(tr::Codelet::Gemm, 1e9, {},
+                         {static_cast<tr::TileId>(i)},
+                         {static_cast<tr::TileId>(i)});
+    }
+    const auto r = tr::execute(g, two_generic_devices());
+    // 8 one-second tasks over 2 devices: ~4 s, not 8 s.
+    EXPECT_NEAR(r.makespan_s, 4.0, 0.5);
+    EXPECT_NEAR(r.devices[0].busy_s, 4.0, 0.5);
+    EXPECT_NEAR(r.devices[1].busy_s, 4.0, 0.5);
+}
+
+TEST(Scheduler, ChainRunsSequentially) {
+    tr::TaskGraph g(1.0);
+    tr::TaskId prev = g.add_task(tr::Codelet::Gemm, 1e9, {}, {0}, {0});
+    for (int i = 1; i < 5; ++i) {
+        prev = g.add_task(tr::Codelet::Gemm, 1e9, {prev}, {0}, {0});
+    }
+    const auto r = tr::execute(g, two_generic_devices());
+    EXPECT_GE(r.makespan_s, 5.0);
+}
+
+TEST(Scheduler, Deterministic) {
+    tr::TiledCholeskyConfig cfg;
+    cfg.tiles = 6;
+    const auto g = tr::build_tiled_cholesky(cfg);
+    const auto& entry = mc::find(mc::CatalogId::V100Node);
+    const auto a = tr::execute(g, tr::node_config_for(entry, 2));
+    const auto b = tr::execute(g, tr::node_config_for(entry, 2));
+    EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+}
+
+TEST(Scheduler, AllTasksScheduledOnce) {
+    tr::TiledCholeskyConfig cfg;
+    cfg.tiles = 5;
+    const auto g = tr::build_tiled_cholesky(cfg);
+    const auto r = tr::execute(g, two_generic_devices());
+    std::uint64_t total = 0;
+    for (const auto& d : r.devices) total += d.tasks;
+    EXPECT_EQ(total, g.tasks().size());
+}
+
+TEST(Scheduler, EnergyIncludesIdleDevicesAndHost) {
+    tr::TaskGraph g(1.0);
+    (void)g.add_task(tr::Codelet::Gemm, 1e9, {}, {0}, {0});
+    auto cfg = two_generic_devices();
+    cfg.devices.resize(1);
+    cfg.host_power_w = 50.0;
+    cfg.idle_devices = 3;
+    const auto r = tr::execute(g, cfg);
+    // busy: 80 W (0.8 * 100); idle devices: 3 * 10 W; host: 50 W.
+    const double expected = (80.0 + 30.0 + 50.0) * r.makespan_s;
+    EXPECT_NEAR(r.energy_j, expected, expected * 0.05);
+}
+
+TEST(Scheduler, RejectsEmptyDeviceList) {
+    tr::TaskGraph g(1.0);
+    tr::NodeConfig cfg;
+    EXPECT_THROW((void)tr::execute(g, cfg), ga::util::PreconditionError);
+}
+
+// ---------------------------------------------------------------- experiment
+TEST(Table3, SweepCoversPaperRows) {
+    const auto runs = tr::table3_sweep();
+    // P100 x{1,2} + V100 x{1,2,4,8} + A100 x{1,2,4,8} = 10 rows.
+    EXPECT_EQ(runs.size(), 10u);
+}
+
+TEST(Table3, EnergyDropsFromOneToTwoDevices) {
+    // Paper: "Energy consumption decreases as we scale up to four GPUs".
+    for (const auto& entry : mc::gpu_nodes()) {
+        const auto one = tr::run_tiled_cholesky(entry, 1);
+        const auto two = tr::run_tiled_cholesky(entry, 2);
+        EXPECT_LT(two.energy_j, one.energy_j) << entry.node.name;
+        EXPECT_LT(two.runtime_s, one.runtime_s) << entry.node.name;
+    }
+}
+
+TEST(Table3, ScalingFlattensBetweenFourAndEight) {
+    // Paper: runtime and energy "stabilize from four to eight GPUs".
+    const auto& v100 = mc::find(mc::CatalogId::V100Node);
+    const auto four = tr::run_tiled_cholesky(v100, 4);
+    const auto eight = tr::run_tiled_cholesky(v100, 8);
+    EXPECT_NEAR(eight.runtime_s / four.runtime_s, 1.0, 0.15);
+    EXPECT_NEAR(eight.energy_j / four.energy_j, 1.0, 0.15);
+}
+
+TEST(Table3, A100FasterButHungrierThanV100) {
+    // Paper: A100 solves ~6% faster than V100 but uses ~60% more energy.
+    const auto v = tr::run_tiled_cholesky(mc::find(mc::CatalogId::V100Node), 1);
+    const auto a = tr::run_tiled_cholesky(mc::find(mc::CatalogId::A100Node), 1);
+    EXPECT_LT(a.runtime_s, v.runtime_s);
+    EXPECT_GT(a.runtime_s, 0.85 * v.runtime_s);  // modest gain, not 2x
+    EXPECT_GT(a.energy_j, 1.3 * v.energy_j);
+}
+
+TEST(Table3, RuntimesInPaperBallpark) {
+    const auto p1 = tr::run_tiled_cholesky(mc::find(mc::CatalogId::P100Node), 1);
+    EXPECT_NEAR(p1.runtime_s, 2321.0, 2321.0 * 0.15);
+    const auto v1 = tr::run_tiled_cholesky(mc::find(mc::CatalogId::V100Node), 1);
+    EXPECT_NEAR(v1.runtime_s, 1494.0, 1494.0 * 0.15);
+    const auto a1 = tr::run_tiled_cholesky(mc::find(mc::CatalogId::A100Node), 1);
+    EXPECT_NEAR(a1.runtime_s, 1405.0, 1405.0 * 0.15);
+}
+
+// Parameterized: config validation across GPU counts.
+class GpuCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpuCountSweep, V100ConfigsValid) {
+    const auto& v100 = mc::find(mc::CatalogId::V100Node);
+    const auto cfg = tr::node_config_for(v100, GetParam());
+    EXPECT_EQ(static_cast<int>(cfg.devices.size()), GetParam());
+    EXPECT_EQ(cfg.idle_devices, 8 - GetParam());
+    const auto run = tr::run_tiled_cholesky(v100, GetParam());
+    EXPECT_GT(run.runtime_s, 0.0);
+    EXPECT_GT(run.energy_j, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, GpuCountSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace

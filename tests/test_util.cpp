@@ -1,0 +1,284 @@
+// Unit tests for ga_util: RNG, CSV, tables, time series, units, errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/time_series.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using ga::util::Align;
+using ga::util::CsvWriter;
+using ga::util::Interpolation;
+using ga::util::Rng;
+using ga::util::TablePrinter;
+using ga::util::TimeSeries;
+
+// ---------------------------------------------------------------- rng
+TEST(Rng, DeterministicAcrossInstances) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a.bits() == b.bits());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+    Rng rng(11);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        sum += u;
+        sq += u * u;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.005);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+    Rng rng(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(5);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double z = rng.normal();
+        sum += z;
+        sq += z * z;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, LognormalPositive) {
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+    Rng rng(1);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+    Rng rng(21);
+    const std::vector<double> w = {1.0, 0.0, 3.0};
+    std::array<int, 3> counts{};
+    for (int i = 0; i < 40000; ++i) counts[rng.categorical(w)]++;
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+    Rng root(1234);
+    Rng a = root.split(1);
+    Rng b = root.split(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a.bits() == b.bits());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsStableRegardlessOfDraws) {
+    Rng r1(99);
+    Rng r2(99);
+    (void)r2.bits();  // consuming draws must not change child streams
+    Rng c1 = r1.split(7);
+    Rng c2 = r2.split(7);
+    EXPECT_EQ(c1.bits(), c2.bits());
+}
+
+TEST(Rng, ShufflePermutes) {
+    Rng rng(17);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto w = v;
+    rng.shuffle(w);
+    std::sort(w.begin(), w.end());
+    EXPECT_EQ(v, w);
+}
+
+// ---------------------------------------------------------------- csv
+TEST(Csv, RoundTripSimple) {
+    CsvWriter w({"a", "b"});
+    w.add_row({"1", "2"});
+    w.add_row({"x", "y"});
+    const auto table = ga::util::parse_csv(w.to_string());
+    ASSERT_EQ(table.rows.size(), 2u);
+    EXPECT_EQ(table.header[0], "a");
+    EXPECT_EQ(table.rows[1][1], "y");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+    CsvWriter w({"field"});
+    w.add_row({"has,comma"});
+    w.add_row({"has\"quote"});
+    w.add_row({"has\nnewline"});
+    const auto table = ga::util::parse_csv(w.to_string());
+    ASSERT_EQ(table.rows.size(), 3u);
+    EXPECT_EQ(table.rows[0][0], "has,comma");
+    EXPECT_EQ(table.rows[1][0], "has\"quote");
+    EXPECT_EQ(table.rows[2][0], "has\nnewline");
+}
+
+TEST(Csv, ColumnLookup) {
+    CsvWriter w({"x", "y", "z"});
+    w.add_row({"1", "2", "3"});
+    const auto table = ga::util::parse_csv(w.to_string());
+    EXPECT_EQ(table.column("z"), 2u);
+    EXPECT_THROW((void)table.column("missing"), ga::util::RuntimeError);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+    EXPECT_THROW((void)ga::util::parse_csv("a,b\n1\n"), ga::util::RuntimeError);
+}
+
+TEST(Csv, RejectsArityMismatch) {
+    CsvWriter w({"a", "b"});
+    EXPECT_THROW(w.add_row({"only-one"}), ga::util::PreconditionError);
+}
+
+TEST(Csv, NumericRowFormatting) {
+    CsvWriter w({"v"});
+    w.add_row_values({0.1 + 0.2});
+    const auto table = ga::util::parse_csv(w.to_string());
+    EXPECT_NEAR(std::stod(table.rows[0][0]), 0.3, 1e-15);
+}
+
+// ---------------------------------------------------------------- table
+TEST(Table, RendersAllCells) {
+    TablePrinter t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_separator();
+    t.add_row({"beta", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, NumFormatsDecimals) {
+    EXPECT_EQ(TablePrinter::num(1.005, 2), "1.00");  // fixed, 2 decimals
+    EXPECT_EQ(TablePrinter::num(3.14159, 3), "3.142");
+}
+
+TEST(Table, RejectsBadRow) {
+    TablePrinter t({"a"});
+    EXPECT_THROW(t.add_row({"1", "2"}), ga::util::PreconditionError);
+}
+
+// ---------------------------------------------------------------- time series
+TEST(TimeSeries, StepLookup) {
+    TimeSeries ts(0.0, 1.0, {1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(ts.at(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(ts.at(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(ts.at(2.9), 3.0);
+}
+
+TEST(TimeSeries, ClampsOutsideRange) {
+    TimeSeries ts(10.0, 1.0, {5.0, 6.0});
+    EXPECT_DOUBLE_EQ(ts.at(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(ts.at(100.0), 6.0);
+}
+
+TEST(TimeSeries, WrapsWhenPeriodic) {
+    TimeSeries ts(0.0, 1.0, {1.0, 2.0}, Interpolation::Step, /*wrap=*/true);
+    EXPECT_DOUBLE_EQ(ts.at(2.5), 1.0);
+    EXPECT_DOUBLE_EQ(ts.at(3.5), 2.0);
+    EXPECT_DOUBLE_EQ(ts.at(-0.5), 2.0);
+}
+
+TEST(TimeSeries, LinearInterpolation) {
+    TimeSeries ts(0.0, 2.0, {0.0, 10.0}, Interpolation::Linear);
+    EXPECT_DOUBLE_EQ(ts.at(1.0), 5.0);
+}
+
+TEST(TimeSeries, StepIntegralExact) {
+    TimeSeries ts(0.0, 1.0, {1.0, 3.0, 5.0});
+    EXPECT_DOUBLE_EQ(ts.integrate(0.0, 3.0), 9.0);
+    EXPECT_DOUBLE_EQ(ts.integrate(0.5, 1.5), 0.5 * 1.0 + 0.5 * 3.0);
+}
+
+TEST(TimeSeries, LinearIntegralExact) {
+    TimeSeries ts(0.0, 1.0, {0.0, 2.0}, Interpolation::Linear);
+    EXPECT_NEAR(ts.integrate(0.0, 1.0), 1.0, 1e-12);  // triangle area
+}
+
+TEST(TimeSeries, MeanOverWindow) {
+    TimeSeries ts(0.0, 1.0, {2.0, 4.0});
+    EXPECT_DOUBLE_EQ(ts.mean(0.0, 2.0), 3.0);
+}
+
+TEST(TimeSeries, RejectsBadConstruction) {
+    EXPECT_THROW(TimeSeries(0.0, 0.0, {1.0}), ga::util::PreconditionError);
+    EXPECT_THROW(TimeSeries(0.0, 1.0, {}), ga::util::PreconditionError);
+}
+
+// ---------------------------------------------------------------- units
+TEST(Units, JoulesKwhRoundTrip) {
+    EXPECT_DOUBLE_EQ(ga::util::kwh_to_joules(ga::util::joules_to_kwh(7.2e6)), 7.2e6);
+    EXPECT_DOUBLE_EQ(ga::util::joules_to_kwh(3.6e6), 1.0);
+}
+
+TEST(Units, OperationalCarbon) {
+    // 1 kWh at 450 g/kWh = 450 g.
+    EXPECT_DOUBLE_EQ(ga::util::operational_carbon_g(3.6e6, 450.0), 450.0);
+}
+
+TEST(Units, CoreHours) {
+    EXPECT_DOUBLE_EQ(ga::util::core_hours(4, 1800.0), 2.0);
+}
+
+// ---------------------------------------------------------------- errors
+TEST(Error, RequireThrowsWithContext) {
+    try {
+        GA_REQUIRE(false, "something bad");
+        FAIL() << "should have thrown";
+    } catch (const ga::util::PreconditionError& e) {
+        EXPECT_NE(std::string(e.what()).find("something bad"), std::string::npos);
+    }
+}
+
+}  // namespace

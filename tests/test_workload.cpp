@@ -1,0 +1,204 @@
+// Tests for the workload substrate: trace generation, GMM counter synthesis,
+// and the KNN cross-platform predictor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+#include "workload/counters.hpp"
+#include "workload/predictor.hpp"
+#include "workload/trace.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+namespace wl = ga::workload;
+namespace mc = ga::machine;
+
+wl::TraceOptions small_options() {
+    wl::TraceOptions o;
+    o.base_jobs = 3000;
+    o.users = 60;
+    o.span_days = 5.0;
+    o.seed = 11;
+    return o;
+}
+
+// ---------------------------------------------------------------- trace
+TEST(Trace, ProducesRequestedJobCount) {
+    const auto jobs = wl::generate_trace(small_options());
+    EXPECT_EQ(jobs.size(), 6000u);  // base * 2 repetitions
+}
+
+TEST(Trace, PaperScaleDefaults) {
+    const wl::TraceOptions o;
+    EXPECT_EQ(o.base_jobs, 71190u);
+    EXPECT_EQ(o.total_jobs(), 142380u);
+}
+
+TEST(Trace, SortedBySubmitTimeWithDenseIds) {
+    const auto jobs = wl::generate_trace(small_options());
+    for (std::size_t i = 1; i < jobs.size(); ++i) {
+        EXPECT_LE(jobs[i - 1].submit_s, jobs[i].submit_s);
+        EXPECT_EQ(jobs[i].id, i);
+    }
+}
+
+TEST(Trace, SeventeenPercentNeedMoreThanSixteenCores) {
+    const auto jobs = wl::generate_trace(small_options());
+    std::size_t large = 0;
+    for (const auto& j : jobs) {
+        if (j.cores > 16) ++large;
+    }
+    const double frac = static_cast<double>(large) / jobs.size();
+    EXPECT_NEAR(frac, 0.17, 0.04);  // paper: 17% cannot run on Desktop
+}
+
+TEST(Trace, RepetitionsShareAppCharacteristics) {
+    const auto jobs = wl::generate_trace(small_options());
+    // All jobs of the same (user, app) must request identical cores and
+    // power class (the paper's repetition assumption).
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::pair<int, double>> seen;
+    for (const auto& j : jobs) {
+        const auto key = std::make_pair(j.user, j.app);
+        const auto it = seen.find(key);
+        if (it == seen.end()) {
+            seen.emplace(key, std::make_pair(j.cores, j.power_ic_w));
+        } else {
+            EXPECT_EQ(it->second.first, j.cores);
+            EXPECT_DOUBLE_EQ(it->second.second, j.power_ic_w);
+        }
+    }
+}
+
+TEST(Trace, DeterministicInSeed) {
+    const auto a = wl::generate_trace(small_options());
+    const auto b = wl::generate_trace(small_options());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].runtime_ic_s, b[i].runtime_ic_s);
+        EXPECT_DOUBLE_EQ(a[i].submit_s, b[i].submit_s);
+    }
+}
+
+TEST(Trace, PhysicalValues) {
+    const auto jobs = wl::generate_trace(small_options());
+    for (const auto& j : jobs) {
+        EXPECT_GT(j.runtime_ic_s, 0.0);
+        EXPECT_LE(j.runtime_ic_s, 24.0 * 3600.0);
+        EXPECT_GT(j.power_ic_w, 0.0);
+        EXPECT_GE(j.cores, 1);
+        EXPECT_LE(j.cores, 64);
+    }
+}
+
+TEST(Trace, CoreMixMatchesDeclaredWeights) {
+    ga::util::Rng rng(5);
+    std::map<int, int> counts;
+    for (int i = 0; i < 20000; ++i) counts[wl::sample_core_count(rng)]++;
+    EXPECT_NEAR(counts[1] / 20000.0, 0.25, 0.02);
+    EXPECT_NEAR(counts[16] / 20000.0, 0.23, 0.02);
+    EXPECT_NEAR((counts[32] + counts[48] + counts[64]) / 20000.0, 0.17, 0.02);
+}
+
+// ---------------------------------------------------------------- counters
+TEST(Counters, GmmTrainsAndSamplesInRange) {
+    const auto gmm = wl::fit_counter_gmm(1000, 3);
+    ga::util::Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        const auto c = wl::counters_from_sample(gmm.sample(rng));
+        EXPECT_GT(c.gips, 0.0);
+        EXPECT_GT(c.llc_mps, 0.0);
+        EXPECT_LT(c.gips, 1000.0);     // log-space sampling keeps scales sane
+        EXPECT_LT(c.llc_mps, 100000.0);
+    }
+}
+
+TEST(Counters, RepetitionsShareCounters) {
+    auto jobs = wl::generate_trace(small_options());
+    const auto gmm = wl::fit_counter_gmm(600, 3);
+    wl::synthesize_counters(jobs, gmm, 9);
+    std::map<std::pair<std::uint32_t, std::uint32_t>, double> seen;
+    for (const auto& j : jobs) {
+        const auto key = std::make_pair(j.user, j.app);
+        const auto it = seen.find(key);
+        if (it == seen.end()) {
+            seen.emplace(key, j.counters.gips);
+        } else {
+            EXPECT_DOUBLE_EQ(it->second, j.counters.gips);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- predictor
+TEST(Predictor, BenchmarkPointsCached) {
+    const auto& a = wl::benchmark_points();
+    const auto& b = wl::benchmark_points();
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.size(), 14u);  // 7 kernels x 2 scales
+}
+
+TEST(Predictor, IcScalingPinnedToUnity) {
+    const wl::CrossPlatformPredictor pred(mc::simulation_machines());
+    const auto scaling = pred.predict({5.0, 10.0});
+    const auto ic = pred.machine_index("IC");
+    EXPECT_DOUBLE_EQ(scaling[ic].runtime_factor, 1.0);
+    EXPECT_DOUBLE_EQ(scaling[ic].power_factor, 1.0);
+}
+
+TEST(Predictor, ComputeBoundJobsSlowerOnTheta) {
+    const wl::CrossPlatformPredictor pred(mc::simulation_machines());
+    // High GIPS, low LLC misses: compute-bound. Theta's 3 GF/s cores are
+    // ~3.7x slower than IC's 11.1.
+    const auto scaling = pred.predict({9.0, 2.0});
+    const auto theta = pred.machine_index("Theta");
+    EXPECT_GT(scaling[theta].runtime_factor, 2.0);
+}
+
+TEST(Predictor, FasterIsMoreEnergyEfficientForMemoryBound) {
+    const wl::CrossPlatformPredictor pred(mc::simulation_machines());
+    // Memory-bound job: FASTER's bandwidth and low active power win on
+    // energy = runtime_factor * power_factor relative to IC.
+    const auto scaling = pred.predict({0.6, 40.0});
+    const auto faster = pred.machine_index("FASTER");
+    const double energy_factor =
+        scaling[faster].runtime_factor * scaling[faster].power_factor;
+    EXPECT_LT(energy_factor, 1.0);
+}
+
+TEST(Predictor, AllFactorsPositive) {
+    const wl::CrossPlatformPredictor pred(mc::simulation_machines());
+    ga::util::Rng rng(6);
+    const auto gmm = wl::fit_counter_gmm(500, 3);
+    for (int i = 0; i < 100; ++i) {
+        const auto c = wl::counters_from_sample(gmm.sample(rng));
+        for (const auto& s : pred.predict(c)) {
+            EXPECT_GT(s.runtime_factor, 0.0);
+            EXPECT_GT(s.power_factor, 0.0);
+        }
+    }
+}
+
+TEST(Predictor, RequiresIcInMachineSet) {
+    std::vector<mc::CatalogEntry> no_ic = {mc::find(mc::CatalogId::Faster),
+                                           mc::find(mc::CatalogId::Theta)};
+    EXPECT_THROW((void)wl::CrossPlatformPredictor(no_ic),
+                 ga::util::PreconditionError);
+}
+
+// ---------------------------------------------------------------- facade
+TEST(Workload, BuildAndExtrapolate) {
+    wl::TraceOptions o = small_options();
+    o.base_jobs = 500;
+    const auto w = wl::build_workload(o);
+    EXPECT_EQ(w.jobs.size(), 1000u);
+    ASSERT_NE(w.predictor, nullptr);
+    const auto per_machine = w.extrapolate(w.jobs.front());
+    EXPECT_EQ(per_machine.size(), 4u);
+    const auto ic = w.predictor->machine_index("IC");
+    EXPECT_NEAR(per_machine[ic].runtime_s, w.jobs.front().runtime_ic_s, 1e-9);
+    EXPECT_NEAR(per_machine[ic].energy_j(), w.jobs.front().energy_ic_j(), 1e-6);
+}
+
+}  // namespace
