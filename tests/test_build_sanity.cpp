@@ -1,0 +1,52 @@
+// Build-sanity smoke suite: asserts the `ga` library links and the public
+// entry points are constructible with defaults. Guards the CMake layer —
+// if a module drops out of the library or a default constructor breaks,
+// this suite fails before any behavioral test runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/accounting.hpp"
+#include "machine/catalog.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+TEST(BuildSanity, CatalogEntryConstructibleWithDefaults) {
+    ga::machine::CatalogEntry entry;
+    EXPECT_EQ(entry.pue, 1.0);
+    EXPECT_GT(entry.platform_overhead_kg, 0.0);
+
+    // The built-in catalog links and contains all ten paper machines.
+    EXPECT_EQ(ga::machine::catalog().size(), 10u);
+}
+
+TEST(BuildSanity, AccountantsConstructibleForEveryMethod) {
+    using ga::acct::Method;
+    for (Method m : {Method::Runtime, Method::Energy, Method::Peak,
+                     Method::Eba, Method::Cba}) {
+        std::unique_ptr<ga::acct::Accountant> a = ga::acct::make_accountant(m);
+        ASSERT_NE(a, nullptr);
+        EXPECT_EQ(a->method(), m);
+        EXPECT_FALSE(ga::acct::to_string(m).empty());
+    }
+}
+
+TEST(BuildSanity, BatchSimulatorConstructibleWithDefaults) {
+    ga::workload::TraceOptions options;
+    options.base_jobs = 16;  // keep the smoke test fast
+    options.users = 4;
+    options.span_days = 1.0;
+
+    ga::sim::BatchSimulator simulator(ga::workload::build_workload(options));
+    EXPECT_EQ(simulator.clusters().size(),
+              ga::sim::default_clusters().size());
+
+    ga::sim::SimOptions defaults;
+    ga::sim::SimResult result = simulator.run(defaults);
+    EXPECT_EQ(result.jobs_completed + result.jobs_skipped,
+              simulator.workload().jobs.size());
+}
+
+}  // namespace
