@@ -3,6 +3,9 @@
 //        EBA allocation;
 //   5b — jobs finished over time (unbudgeted runs);
 //   5c — distribution of jobs over machines per policy.
+//
+// The 16 scenario runs (8 policies × {budgeted, unbudgeted}) execute
+// concurrently through the sweep engine.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -20,6 +23,13 @@ int main() {
     std::printf("fixed EBA allocation: %.3g (75%% of Greedy's full-run cost)\n",
                 budget);
 
+    // One grid, all policies, both budget levels; rows are classified by
+    // each outcome's own spec, independent of expansion order.
+    ga::sim::SweepGrid grid;
+    grid.policies = ga::sim::all_policies();
+    grid.budgets = {budget, 0.0};
+    const auto outcomes = ga::bench::sweep(simulator, grid);
+
     // ---- 5a: work at fixed allocation + 5c: machine distribution ----
     ga::util::TablePrinter work_table(
         {"Policy", "Work (M core-h)", "Jobs done", "Skipped"});
@@ -29,24 +39,24 @@ int main() {
     dist_table.set_title("Fig 5c: distribution of jobs over machines (unbudgeted)");
 
     std::vector<std::pair<ga::sim::Policy, ga::sim::SimResult>> unbudgeted;
-    for (const auto policy : ga::sim::all_policies()) {
-        const auto budgeted = ga::bench::run(simulator, policy,
-                                             ga::acct::Method::Eba, budget);
-        work_table.add_row(
-            {std::string(ga::sim::to_string(policy)),
-             ga::util::TablePrinter::num(budgeted.work_core_hours / 1e6, 2),
-             std::to_string(budgeted.jobs_completed),
-             std::to_string(budgeted.jobs_skipped)});
-
-        const auto full =
-            ga::bench::run(simulator, policy, ga::acct::Method::Eba);
-        dist_table.add_row(
-            {std::string(ga::sim::to_string(policy)),
-             std::to_string(full.jobs_per_machine.at("FASTER")),
-             std::to_string(full.jobs_per_machine.at("Desktop")),
-             std::to_string(full.jobs_per_machine.at("IC")),
-             std::to_string(full.jobs_per_machine.at("Theta"))});
-        unbudgeted.emplace_back(policy, full);
+    for (const auto& outcome : outcomes) {
+        const auto policy = outcome.spec.options.policy;
+        const auto& r = outcome.result;
+        if (outcome.spec.options.budget > 0.0) {
+            work_table.add_row(
+                {std::string(ga::sim::to_string(policy)),
+                 ga::util::TablePrinter::num(r.work_core_hours / 1e6, 2),
+                 std::to_string(r.jobs_completed),
+                 std::to_string(r.jobs_skipped)});
+        } else {
+            dist_table.add_row(
+                {std::string(ga::sim::to_string(policy)),
+                 std::to_string(r.jobs_per_machine.at("FASTER")),
+                 std::to_string(r.jobs_per_machine.at("Desktop")),
+                 std::to_string(r.jobs_per_machine.at("IC")),
+                 std::to_string(r.jobs_per_machine.at("Theta"))});
+            unbudgeted.emplace_back(policy, r);
+        }
     }
     std::printf("%s", work_table.render().c_str());
 

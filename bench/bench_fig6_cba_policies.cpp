@@ -1,5 +1,6 @@
 // Figure 6: work completed for a fixed CBA allocation across the five
-// adaptive policies.
+// adaptive policies. The five budgeted runs execute concurrently through
+// the sweep engine.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -17,14 +18,19 @@ int main() {
     const double budget = greedy_full.total_cost * 0.75;
     std::printf("fixed CBA allocation: %.3g gCO2e\n", budget);
 
+    ga::sim::SweepGrid grid;
+    grid.policies = ga::sim::multi_machine_policies();
+    grid.pricings = {ga::acct::Method::Cba};
+    grid.budgets = {budget};
+    const auto outcomes = ga::bench::sweep(simulator, grid);
+
     ga::util::TablePrinter table({"Policy", "Work (M core-h)", "Jobs done",
                                   "FASTER share", "IC share"});
-    for (const auto policy : ga::sim::multi_machine_policies()) {
-        const auto r =
-            ga::bench::run(simulator, policy, ga::acct::Method::Cba, budget);
+    for (const auto& outcome : outcomes) {
+        const auto& r = outcome.result;
         const double total = static_cast<double>(r.jobs_completed);
         table.add_row(
-            {std::string(ga::sim::to_string(policy)),
+            {std::string(ga::sim::to_string(outcome.spec.options.policy)),
              ga::util::TablePrinter::num(r.work_core_hours / 1e6, 2),
              std::to_string(r.jobs_completed),
              ga::util::TablePrinter::num(

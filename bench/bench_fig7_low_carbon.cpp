@@ -16,17 +16,22 @@ int main() {
     ga::bench::banner("Figure 7: CBA with low-carbon regional grids");
     const auto simulator = ga::bench::make_simulator();
 
-    // ---- 7a ----
+    // ---- 7a: the five budgeted regional-grid runs, swept concurrently ----
     const auto greedy_full = ga::bench::run(
         simulator, ga::sim::Policy::Greedy, ga::acct::Method::Cba, 0.0, true);
     const double budget = greedy_full.total_cost * 0.75;
+    ga::sim::SweepGrid grid;
+    grid.policies = ga::sim::multi_machine_policies();
+    grid.pricings = {ga::acct::Method::Cba};
+    grid.budgets = {budget};
+    grid.regional_grids = {true};
+    const auto outcomes = ga::bench::sweep(simulator, grid);
     ga::util::TablePrinter work_table({"Policy", "Work (M core-h)", "Jobs done"});
     work_table.set_title("Fig 7a: work at fixed CBA allocation, regional grids");
-    for (const auto policy : ga::sim::multi_machine_policies()) {
-        const auto r = ga::bench::run(simulator, policy, ga::acct::Method::Cba,
-                                      budget, true);
+    for (const auto& outcome : outcomes) {
+        const auto& r = outcome.result;
         work_table.add_row(
-            {std::string(ga::sim::to_string(policy)),
+            {std::string(ga::sim::to_string(outcome.spec.options.policy)),
              ga::util::TablePrinter::num(r.work_core_hours / 1e6, 2),
              std::to_string(r.jobs_completed)});
     }

@@ -1,8 +1,10 @@
 // Micro-benchmarks (google-benchmark): batch-simulator throughput — jobs
-// simulated per second for each policy.
+// simulated per second per policy, and sweep-engine scaling: scenarios per
+// second for an 8-policy grid at increasing thread counts.
 #include <benchmark/benchmark.h>
 
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "workload/workload.hpp"
 
 namespace {
@@ -33,6 +35,24 @@ void BM_Policy(benchmark::State& state, ga::sim::Policy policy) {
         benchmark::Counter::kIsRate);
 }
 
+// Full 8-policy grid through the sweep engine; range(0) = worker threads.
+// threads=1 is the serial baseline, higher counts show the parallel speedup.
+void BM_Sweep(benchmark::State& state) {
+    ga::sim::SweepGrid grid;
+    grid.policies = ga::sim::all_policies();
+    const auto specs = grid.expand();
+    ga::sim::SweepRunner runner(simulator(),
+                                static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        const auto outcomes = runner.run(specs);
+        benchmark::DoNotOptimize(outcomes.front().result.work_core_hours);
+    }
+    state.counters["scenarios/s"] = benchmark::Counter(
+        static_cast<double>(specs.size()) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Policy, greedy, ga::sim::Policy::Greedy)
@@ -43,3 +63,5 @@ BENCHMARK_CAPTURE(BM_Policy, mixed, ga::sim::Policy::Mixed)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Policy, eft, ga::sim::Policy::Eft)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();

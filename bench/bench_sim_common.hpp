@@ -1,10 +1,15 @@
-// Shared setup for the §5 simulation benches (Figs 5–7, Table 6).
+// Shared setup for the §5 simulation benches (Figs 5–7, Table 6). All
+// drivers run their scenario grids through the sweep engine so every
+// policy/pricing/budget point executes concurrently over one shared
+// immutable simulator.
 #pragma once
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "workload/workload.hpp"
 
 namespace ga::bench {
@@ -20,7 +25,19 @@ inline ga::sim::BatchSimulator make_simulator(double scale = 1.0) {
     return ga::sim::BatchSimulator(ga::workload::build_workload(options));
 }
 
-/// Runs one policy/pricing combination.
+/// Expands a scenario grid and executes it concurrently. Outcome order is
+/// the grid's deterministic expansion order (policies vary slowest). This
+/// one-shot helper spawns a fresh pool per call; drivers issuing several
+/// grids should hold their own `SweepRunner` (see bench_ablations).
+inline std::vector<ga::sim::SweepOutcome> sweep(
+    const ga::sim::BatchSimulator& simulator, const ga::sim::SweepGrid& grid) {
+    ga::sim::SweepRunner runner(simulator);
+    std::printf("sweeping %zu scenarios over %zu threads...\n", grid.size(),
+                runner.threads());
+    return runner.run(grid);
+}
+
+/// Runs one policy/pricing combination (single-scenario convenience).
 inline ga::sim::SimResult run(const ga::sim::BatchSimulator& simulator,
                               ga::sim::Policy policy, ga::acct::Method pricing,
                               double budget = 0.0, bool regional = false) {

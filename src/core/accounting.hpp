@@ -37,7 +37,12 @@ struct JobUsage {
     double energy_j = 0.0;     ///< task-attributed energy (CPU+GPU)
     int cores = 1;             ///< provisioned cores (CPU jobs)
     int gpus = 0;              ///< provisioned GPUs (0 for CPU jobs)
-    double submit_time_s = 0.0;///< absolute time, for carbon-intensity lookup
+    /// Absolute time at which the usage is priced (CBA's carbon-intensity
+    /// lookup). Callers choose the semantics: the batch simulator quotes
+    /// routing/budget prices at the job's *submit* time but meters completed
+    /// jobs at their actual *start* time (Eq. 2 reads the grid when the job
+    /// runs, which differs for queued jobs).
+    double submit_time_s = 0.0;
 };
 
 /// Accounting method identifiers (paper §4.2 naming).

@@ -30,6 +30,13 @@ BatchSimulator::BatchSimulator(ga::workload::Workload workload,
     : workload_(std::move(workload)), clusters_(std::move(clusters)) {
     GA_REQUIRE(!clusters_.empty(), "simulator: need at least one cluster");
     GA_REQUIRE(workload_.predictor != nullptr, "simulator: workload lacks predictor");
+    // The event loop indexes per-job state by job id, so ids must be dense
+    // and positional (generate_trace guarantees this; hand-crafted workloads
+    // must too).
+    for (std::size_t i = 0; i < workload_.jobs.size(); ++i) {
+        GA_REQUIRE(workload_.jobs[i].id == i,
+                   "simulator: job ids must equal their position");
+    }
 
     // Resolve "one node per user" clusters (personal desktops). Note the
     // one-running-job-per-(user, cluster) rule makes per-user capacity
@@ -94,8 +101,9 @@ double BatchSimulator::job_work_core_hours(std::size_t job_index) const {
 
 namespace {
 
-/// Discrete-event types.
-enum class EventType { Submit, Finish };
+/// Discrete-event types, in tie-break order at equal times: finishes free
+/// resources first, outages shrink capacity next, submits route last.
+enum class EventType { Finish, Outage, Submit };
 
 struct Event {
     double time = 0.0;
@@ -105,8 +113,9 @@ struct Event {
 
     bool operator>(const Event& other) const noexcept {
         if (time != other.time) return time > other.time;
-        // Finishes before submits at equal times frees resources first.
-        if (type != other.type) return type == EventType::Submit;
+        if (type != other.type) {
+            return static_cast<int>(type) > static_cast<int>(other.type);
+        }
         return job > other.job;
     }
 };
@@ -114,6 +123,7 @@ struct Event {
 /// Runtime state of one cluster.
 struct ClusterState {
     int free_cores = 0;
+    int capacity = 0;  // effective total cores (shrinks on an outage)
     // O(1) backlog estimate bookkeeping: sum(cores_i * end_i) and
     // sum(cores_i) over running jobs.
     double sum_cores_end = 0.0;
@@ -122,12 +132,26 @@ struct ClusterState {
     std::deque<std::uint32_t> queue;  // waiting job ids, FIFO with skip-ahead
     std::unordered_set<std::uint32_t> users_running;
 
-    [[nodiscard]] double wait_estimate(double now, int total_cores) const noexcept {
+    [[nodiscard]] double wait_estimate(double now) const noexcept {
         const double running_remaining =
             std::max(0.0, sum_cores_end - now * running_cores);
         return (running_remaining + queued_core_seconds) /
-               static_cast<double>(total_cores);
+               static_cast<double>(capacity);
     }
+};
+
+/// All mutable state of one simulation run. `BatchSimulator::run` is const
+/// and owns exactly one RunState per invocation on its stack, so concurrent
+/// runs over the same simulator never share mutable data — the sweep engine
+/// (`sim/sweep.hpp`) is sound by construction.
+struct RunState {
+    std::vector<ClusterState> cluster;
+    std::vector<std::size_t> jobs_per_cluster;  // index-counted, named later
+    std::vector<double> start_time;  // actual start, for CBA's Eq. 2 term
+    std::vector<double> charged;     // submit-time charge, for outage refunds
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    double budget_remaining = std::numeric_limits<double>::infinity();
+    SimResult result;
 };
 
 }  // namespace
@@ -168,46 +192,56 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
     }
 
     // ---- state ----
-    std::vector<ClusterState> state(n_clusters);
+    GA_REQUIRE(options.arrival_compression > 0.0,
+               "simulator: arrival compression must be positive");
+    RunState rs;
+    rs.cluster.resize(n_clusters);
     for (std::size_t c = 0; c < n_clusters; ++c) {
-        state[c].free_cores = clusters_[c].total_cores();
+        rs.cluster[c].free_cores = clusters_[c].total_cores();
+        rs.cluster[c].capacity = clusters_[c].total_cores();
     }
-    std::vector<std::uint32_t> assigned_cluster(jobs.size(), 0);
-    double budget_remaining =
-        options.budget > 0.0 ? options.budget
-                             : std::numeric_limits<double>::infinity();
+    rs.jobs_per_cluster.assign(n_clusters, 0);
+    rs.start_time.assign(jobs.size(), 0.0);
+    rs.charged.assign(jobs.size(), 0.0);
+    if (options.budget > 0.0) rs.budget_remaining = options.budget;
 
-    SimResult result;
+    SimResult& result = rs.result;
     result.finish_times_s.reserve(jobs.size());
-    for (const auto& c : clusters_) {
-        result.jobs_per_machine[c.entry.node.name] = 0;
-    }
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
     for (const auto& job : jobs) {
-        events.push(Event{job.submit_s, EventType::Submit, job.id, 0});
+        rs.events.push(Event{job.submit_s / options.arrival_compression,
+                             EventType::Submit, job.id, 0});
+    }
+    if (options.outage.has_value()) {
+        GA_REQUIRE(options.outage->cluster < n_clusters,
+                   "simulator: outage cluster index out of range");
+        GA_REQUIRE(options.outage->nodes_lost >= 0,
+                   "simulator: outage cannot add nodes");
+        rs.events.push(Event{options.outage->at_s, EventType::Outage, 0,
+                             static_cast<std::uint32_t>(options.outage->cluster)});
     }
 
     auto job_usage = [&](std::uint32_t j, std::size_t c,
-                         double submit_time) {
+                         double start_time) {
         ga::acct::JobUsage usage;
         usage.duration_s = pred_runtime_[j * n_clusters + c];
         usage.energy_j = usage.duration_s * pred_power_[j * n_clusters + c];
         usage.cores = jobs[j].cores;
-        usage.submit_time_s = submit_time;
+        usage.submit_time_s = start_time;
         return usage;
     };
 
     // Starts a job on cluster c at time `now` (resources already checked).
     auto start_job = [&](std::uint32_t j, std::size_t c, double now) {
         const double runtime = pred_runtime_[j * n_clusters + c];
-        ClusterState& cs = state[c];
+        ClusterState& cs = rs.cluster[c];
         cs.free_cores -= jobs[j].cores;
         cs.users_running.insert(jobs[j].user);
         cs.sum_cores_end += static_cast<double>(jobs[j].cores) * (now + runtime);
         cs.running_cores += static_cast<double>(jobs[j].cores);
-        events.push(Event{now + runtime, EventType::Finish, j,
-                          static_cast<std::uint32_t>(c)});
+        rs.start_time[j] = now;
+        rs.events.push(Event{now + runtime, EventType::Finish, j,
+                             static_cast<std::uint32_t>(c)});
     };
 
     // Tries to start queued jobs on cluster c (FIFO with skip-ahead past
@@ -216,7 +250,7 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
     // which also bounds the per-event cost on deep queues.
     constexpr std::size_t kBackfillDepth = 256;
     auto drain_queue = [&](std::size_t c, double now) {
-        ClusterState& cs = state[c];
+        ClusterState& cs = rs.cluster[c];
         std::size_t scanned = 0;
         for (auto it = cs.queue.begin();
              it != cs.queue.end() && scanned < kBackfillDepth; ++scanned) {
@@ -233,26 +267,27 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
         }
     };
 
-    while (!events.empty()) {
-        const Event ev = events.top();
-        events.pop();
+    while (!rs.events.empty()) {
+        const Event ev = rs.events.top();
+        rs.events.pop();
         const double now = ev.time;
 
         if (ev.type == EventType::Finish) {
             const std::size_t c = ev.cluster;
             const std::uint32_t j = ev.job;
-            ClusterState& cs = state[c];
+            ClusterState& cs = rs.cluster[c];
             cs.free_cores += jobs[j].cores;
             cs.users_running.erase(jobs[j].user);
-            const double runtime = pred_runtime_[j * n_clusters + c];
             cs.sum_cores_end -= static_cast<double>(jobs[j].cores) * now;
             // `now` equals start + runtime, so subtracting cores*now removes
             // exactly the cores*end contribution.
-            (void)runtime;
             cs.running_cores -= static_cast<double>(jobs[j].cores);
 
             // ---- metrics at completion ----
-            const auto usage = job_usage(j, c, jobs[j].submit_s);
+            // Carbon is metered at the job's actual start time: Eq. 2's
+            // operational term reads grid intensity when the job runs, which
+            // differs from the submit time for queued jobs.
+            const auto usage = job_usage(j, c, rs.start_time[j]);
             ++result.jobs_completed;
             result.work_core_hours += work_[j];
             result.energy_mwh += usage.energy_j / ga::util::kJoulesPerKwh / 1000.0;
@@ -262,9 +297,39 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
                 cba.charge(usage, clusters_[c].entry) / 1000.0;
             result.finish_times_s.push_back(now);
             result.makespan_s = std::max(result.makespan_s, now);
-            ++result.jobs_per_machine[clusters_[c].entry.node.name];
+            ++rs.jobs_per_cluster[c];
 
             drain_queue(c, now);
+            continue;
+        }
+
+        if (ev.type == EventType::Outage) {
+            const std::size_t c = ev.cluster;
+            ClusterState& cs = rs.cluster[c];
+            const int per_node = clusters_[c].entry.node.total_cores();
+            const int lost =
+                std::min(options.outage->nodes_lost, clusters_[c].nodes) *
+                per_node;
+            cs.capacity -= lost;
+            // Running jobs keep their cores until they finish; the pool just
+            // never gets them back (free_cores may go negative meanwhile).
+            cs.free_cores -= lost;
+            // Queued jobs that no longer fit the shrunken cluster are
+            // refunded and counted as skipped.
+            for (auto it = cs.queue.begin(); it != cs.queue.end();) {
+                const std::uint32_t j = *it;
+                if (jobs[j].cores > cs.capacity) {
+                    cs.queued_core_seconds -=
+                        static_cast<double>(jobs[j].cores) *
+                        pred_runtime_[j * n_clusters + c];
+                    rs.budget_remaining += rs.charged[j];
+                    result.total_cost -= rs.charged[j];
+                    ++result.jobs_skipped;
+                    it = cs.queue.erase(it);
+                } else {
+                    ++it;
+                }
+            }
             continue;
         }
 
@@ -274,11 +339,11 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
         for (std::size_t c = 0; c < n_clusters; ++c) {
             MachineChoice& ch = choices[c];
             ch.machine_index = c;
-            ch.feasible = jobs[j].cores <= clusters_[c].total_cores();
+            ch.feasible = jobs[j].cores <= rs.cluster[c].capacity;
             if (!ch.feasible) continue;
             ch.runtime_s = pred_runtime_[j * n_clusters + c];
             ch.energy_j = ch.runtime_s * pred_power_[j * n_clusters + c];
-            ch.queue_wait_s = state[c].wait_estimate(now, clusters_[c].total_cores());
+            ch.queue_wait_s = rs.cluster[c].wait_estimate(now);
             ch.cost = pricer.charge(job_usage(j, c, now), clusters_[c].entry);
         }
         const auto chosen =
@@ -289,28 +354,30 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
             continue;
         }
         const std::size_t c = *chosen;
-        if (choices[c].cost > budget_remaining) {
+        if (choices[c].cost > rs.budget_remaining) {
             ++result.jobs_skipped;
             continue;
         }
-        budget_remaining -= choices[c].cost;
+        rs.budget_remaining -= choices[c].cost;
         result.total_cost += choices[c].cost;
-        assigned_cluster[j] = static_cast<std::uint32_t>(c);
+        rs.charged[j] = choices[c].cost;
 
-        ClusterState& cs = state[c];
-        if (jobs[j].cores <= cs.free_cores &&
-            cs.users_running.find(jobs[j].user) == cs.users_running.end() &&
-            cs.queue.empty()) {
-            start_job(j, c, now);
-        } else {
-            cs.queue.push_back(j);
-            cs.queued_core_seconds += static_cast<double>(jobs[j].cores) *
-                                      pred_runtime_[j * n_clusters + c];
-        }
+        // Enqueue, then drain: a submitted job starts immediately whenever
+        // it (or any skip-ahead-eligible queued job) can run, instead of
+        // idling cores until the cluster's next finish event.
+        ClusterState& cs = rs.cluster[c];
+        cs.queue.push_back(j);
+        cs.queued_core_seconds += static_cast<double>(jobs[j].cores) *
+                                  pred_runtime_[j * n_clusters + c];
+        drain_queue(c, now);
     }
 
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+        result.jobs_per_machine[clusters_[c].entry.node.name] +=
+            rs.jobs_per_cluster[c];
+    }
     std::sort(result.finish_times_s.begin(), result.finish_times_s.end());
-    return result;
+    return std::move(rs.result);
 }
 
 }  // namespace ga::sim

@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "core/accounting.hpp"
 #include "sim/policy.hpp"
@@ -36,6 +37,17 @@ struct ClusterConfig {
 /// contention patterns (Desktop is a single node; Theta is the largest).
 [[nodiscard]] std::vector<ClusterConfig> default_clusters();
 
+/// Mid-run capacity loss (scenario dimension beyond the paper): at `at_s`
+/// the cluster irrevocably loses `nodes_lost` nodes (clamped to the deployed
+/// count). Running jobs finish, but the lost cores are never returned to the
+/// pool; queued jobs that no longer fit the shrunken cluster are refunded
+/// and counted as skipped.
+struct ClusterOutage {
+    std::size_t cluster = 0;  ///< index into the deployment
+    double at_s = 0.0;        ///< outage time, seconds from simulation start
+    int nodes_lost = 0;
+};
+
 /// Scenario and accounting configuration for one run.
 struct SimOptions {
     Policy policy = Policy::Greedy;
@@ -44,6 +56,11 @@ struct SimOptions {
     double mixed_threshold = 2.0;   ///< Mixed policy speedup rule
     bool regional_grids = false;    ///< Fig-7 low-carbon scenario
     std::uint64_t grid_seed = 77;   ///< synthetic grid seed
+    /// Arrival-burst scaling (scenario dimension beyond the paper): submit
+    /// times are divided by this factor, so > 1 compresses the trace into a
+    /// burstier window while keeping job order and characteristics.
+    double arrival_compression = 1.0;
+    std::optional<ClusterOutage> outage;  ///< optional mid-run capacity loss
 };
 
 /// Aggregated outcome of one simulation run.
@@ -60,8 +77,10 @@ struct SimResult {
     std::map<std::string, std::size_t> jobs_per_machine;
 };
 
-/// The simulator. Construct once per workload; `run` is const and can be
-/// called for every policy/scenario combination.
+/// The simulator. Construct once per workload; `run` is const, keeps every
+/// piece of per-run mutable state in a stack-local `RunState`, and can be
+/// called concurrently from many threads over the same instance — the
+/// scenario-sweep engine (`sim/sweep.hpp`) relies on this.
 class BatchSimulator {
 public:
     BatchSimulator(ga::workload::Workload workload,

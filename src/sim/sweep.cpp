@@ -1,0 +1,151 @@
+#include "sim/sweep.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace ga::sim {
+
+namespace {
+
+std::string format_number(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/// Label for one grid point: policy and pricing always, other axes only
+/// when the grid actually sweeps them (explicitly-set axis).
+std::string make_label(const SimOptions& o, bool with_budget,
+                       bool with_threshold, bool with_regional, bool with_seed,
+                       bool with_compression, bool with_outage) {
+    std::string label = std::string(to_string(o.policy)) + "/" +
+                        std::string(ga::acct::to_string(o.pricing));
+    if (with_budget) {
+        label += o.budget > 0.0 ? "/budget=" + format_number(o.budget)
+                                : "/unbudgeted";
+    }
+    if (with_threshold) {
+        label += "/mixed=" + format_number(o.mixed_threshold);
+    }
+    if (with_regional) {
+        label += o.regional_grids ? "/regional" : "/flat";
+    }
+    if (with_seed) {
+        label += "/seed=" + std::to_string(o.grid_seed);
+    }
+    if (with_compression) {
+        label += "/burst=" + format_number(o.arrival_compression);
+    }
+    if (with_outage) {
+        if (o.outage.has_value()) {
+            label += "/outage[c" + std::to_string(o.outage->cluster) + "-" +
+                     std::to_string(o.outage->nodes_lost) + "n@" +
+                     format_number(o.outage->at_s) + "s]";
+        } else {
+            label += "/no-outage";
+        }
+    }
+    return label;
+}
+
+/// An axis, or the single fallback value when the axis is empty.
+template <typename T>
+std::vector<T> axis_or(const std::vector<T>& axis, T fallback) {
+    return axis.empty() ? std::vector<T>{std::move(fallback)} : axis;
+}
+
+}  // namespace
+
+std::size_t SweepGrid::size() const noexcept {
+    const auto dim = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
+    return dim(policies.size()) * dim(pricings.size()) * dim(budgets.size()) *
+           dim(mixed_thresholds.size()) * dim(regional_grids.size()) *
+           dim(grid_seeds.size()) * dim(arrival_compressions.size()) *
+           dim(outages.size());
+}
+
+std::vector<ScenarioSpec> SweepGrid::expand() const {
+    const SimOptions defaults;
+    const auto ps = axis_or(policies, defaults.policy);
+    const auto ms = axis_or(pricings, defaults.pricing);
+    const auto bs = axis_or(budgets, defaults.budget);
+    const auto ts = axis_or(mixed_thresholds, defaults.mixed_threshold);
+    const auto rs = axis_or(regional_grids, defaults.regional_grids);
+    const auto ss = axis_or(grid_seeds, defaults.grid_seed);
+    const auto cs = axis_or(arrival_compressions, defaults.arrival_compression);
+    const auto os = axis_or(outages, defaults.outage);
+
+    std::vector<ScenarioSpec> specs;
+    specs.reserve(size());
+    for (const auto policy : ps)
+        for (const auto pricing : ms)
+            for (const auto budget : bs)
+                for (const auto threshold : ts)
+                    for (const bool regional : rs)
+                        for (const auto seed : ss)
+                            for (const auto compression : cs)
+                                for (const auto& outage : os) {
+                                    ScenarioSpec spec;
+                                    spec.options.policy = policy;
+                                    spec.options.pricing = pricing;
+                                    spec.options.budget = budget;
+                                    spec.options.mixed_threshold = threshold;
+                                    spec.options.regional_grids = regional;
+                                    spec.options.grid_seed = seed;
+                                    spec.options.arrival_compression =
+                                        compression;
+                                    spec.options.outage = outage;
+                                    spec.label = make_label(
+                                        spec.options, !budgets.empty(),
+                                        !mixed_thresholds.empty(),
+                                        !regional_grids.empty(),
+                                        !grid_seeds.empty(),
+                                        !arrival_compressions.empty(),
+                                        !outages.empty());
+                                    specs.push_back(std::move(spec));
+                                }
+    return specs;
+}
+
+SweepRunner::SweepRunner(const BatchSimulator& simulator, std::size_t threads)
+    : simulator_(&simulator), pool_(threads) {}
+
+std::vector<SweepOutcome> SweepRunner::run(
+    const std::vector<ScenarioSpec>& specs) {
+    std::vector<SweepOutcome> outcomes(specs.size());
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        pool_.submit([this, &outcomes, &specs, &error_mutex, &error, i] {
+            try {
+                outcomes[i].spec = specs[i];
+                outcomes[i].result = simulator_->run(specs[i].options);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error) error = std::current_exception();
+            }
+        });
+    }
+    pool_.wait_idle();
+    if (error) std::rethrow_exception(error);
+    return outcomes;
+}
+
+std::vector<SweepOutcome> SweepRunner::run(const SweepGrid& grid) {
+    return run(grid.expand());
+}
+
+std::vector<SweepOutcome> SweepRunner::run_serial(
+    const std::vector<ScenarioSpec>& specs) const {
+    std::vector<SweepOutcome> outcomes(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        outcomes[i].spec = specs[i];
+        outcomes[i].result = simulator_->run(specs[i].options);
+    }
+    return outcomes;
+}
+
+}  // namespace ga::sim

@@ -1,0 +1,97 @@
+// Scenario-sweep engine over the §5 batch simulator.
+//
+// The paper's experiments (Figs 5–7, Table 6) are grids of simulation runs:
+// policy × pricing × budget, plus scenario switches (regional grids, grid
+// seeds) and — beyond the paper — cluster outages and arrival-burst scaling.
+// `SweepGrid` describes such a grid declaratively, `expand()` turns it into
+// a deterministic list of `ScenarioSpec`s, and `SweepRunner` executes the
+// specs concurrently over one shared immutable `BatchSimulator`.
+//
+// Concurrency is sound by construction: `BatchSimulator::run` is const and
+// keeps all mutable state in a per-run `RunState`, so parallel execution is
+// bit-identical to running the same specs serially.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/parallel.hpp"
+
+namespace ga::sim {
+
+/// One fully-specified simulation scenario: the options for a single
+/// `BatchSimulator::run` plus a human-readable label for tables and logs.
+struct ScenarioSpec {
+    std::string label;
+    SimOptions options;
+};
+
+/// Axes of a scenario grid. An empty axis collapses to the corresponding
+/// `SimOptions` default, so `SweepGrid{.policies = all_policies()}` expands
+/// to eight unbudgeted EBA scenarios.
+struct SweepGrid {
+    std::vector<Policy> policies;
+    std::vector<ga::acct::Method> pricings;
+    std::vector<double> budgets;  ///< 0 = unlimited
+    std::vector<double> mixed_thresholds;
+    std::vector<bool> regional_grids;
+    std::vector<std::uint64_t> grid_seeds;
+    /// New scenario dimensions beyond the paper (see SimOptions).
+    std::vector<double> arrival_compressions;
+    std::vector<std::optional<ClusterOutage>> outages;
+
+    /// Number of scenarios the grid expands to (product of axis sizes,
+    /// empty axes counting as 1).
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    /// Cartesian product in declared-axis order: policies vary slowest,
+    /// outages fastest. Deterministic — spec i is always the same point, so
+    /// sweep outcomes can be indexed positionally.
+    [[nodiscard]] std::vector<ScenarioSpec> expand() const;
+};
+
+/// One executed scenario: the spec and its simulation result, index-aligned
+/// with the input spec list.
+struct SweepOutcome {
+    ScenarioSpec spec;
+    SimResult result;
+};
+
+/// Executes scenario lists concurrently over one shared simulator.
+/// A runner owns a persistent thread pool, so repeated `run` calls (e.g. a
+/// bench driver issuing several grids) reuse the same workers. A runner is
+/// driven from one controlling thread at a time.
+class SweepRunner {
+public:
+    /// `threads == 0` uses the hardware concurrency.
+    explicit SweepRunner(const BatchSimulator& simulator,
+                         std::size_t threads = 0);
+
+    /// Runs every spec; outcome i corresponds to specs[i]. Results are
+    /// bit-identical to `run_serial` on the same specs.
+    [[nodiscard]] std::vector<SweepOutcome> run(
+        const std::vector<ScenarioSpec>& specs);
+
+    /// Expands the grid and runs it.
+    [[nodiscard]] std::vector<SweepOutcome> run(const SweepGrid& grid);
+
+    /// Serial reference executor (same ordering), for determinism checks
+    /// and baselines.
+    [[nodiscard]] std::vector<SweepOutcome> run_serial(
+        const std::vector<ScenarioSpec>& specs) const;
+
+    [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+    [[nodiscard]] const BatchSimulator& simulator() const noexcept {
+        return *simulator_;
+    }
+
+private:
+    const BatchSimulator* simulator_;
+    ga::util::ThreadPool pool_;
+};
+
+}  // namespace ga::sim

@@ -1,0 +1,143 @@
+// Minimal threading utilities, standard library only. `ThreadPool` is the
+// persistent worker pool behind the scenario-sweep engine (sim/sweep.hpp);
+// `parallel_for` is the one-shot alternative for fan-outs that don't keep a
+// pool around.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ga::util {
+
+/// Worker count used when the caller passes 0: the hardware concurrency,
+/// or 1 when the runtime cannot report it.
+[[nodiscard]] inline std::size_t default_thread_count() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t{1} : static_cast<std::size_t>(hw);
+}
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Tasks must not throw (wrap bodies that can — `parallel_for` shows the
+/// pattern); `wait_idle` blocks until every submitted task has finished, so
+/// one pool can serve many batches back to back. Submission and waiting are
+/// intended for a single controlling thread.
+class ThreadPool {
+public:
+    explicit ThreadPool(std::size_t threads = 0) {
+        const std::size_t n = threads == 0 ? default_thread_count() : threads;
+        workers_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            workers_.emplace_back([this] { work(); });
+        }
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (auto& w : workers_) w.join();
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueues one task for execution on some worker.
+    void submit(std::function<void()> task) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            tasks_.push_back(std::move(task));
+            ++pending_;
+        }
+        wake_.notify_one();
+    }
+
+    /// Blocks until every task submitted so far has run to completion.
+    void wait_idle() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return pending_ == 0; });
+    }
+
+private:
+    void work() {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+                if (tasks_.empty()) return;  // stopping, queue drained
+                task = std::move(tasks_.front());
+                tasks_.pop_front();
+            }
+            task();
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                --pending_;
+            }
+            idle_.notify_all();
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> tasks_;
+    std::size_t pending_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/// Runs `body(i)` for every i in [0, n), distributing iterations over
+/// `threads` workers (0 = hardware concurrency) through an atomic cursor.
+/// The calling thread participates, so `threads == 1` degenerates to a plain
+/// loop with no thread spawned. The first exception thrown by any iteration
+/// cancels the remaining ones and is rethrown on the caller after all
+/// workers drain.
+template <typename Body>
+void parallel_for(std::size_t n, std::size_t threads, Body&& body) {
+    if (n == 0) return;
+    std::size_t workers = threads == 0 ? default_thread_count() : threads;
+    workers = std::min(workers, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i) body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    const auto run = [&]() noexcept {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            try {
+                body(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error) error = std::current_exception();
+                next.store(n, std::memory_order_relaxed);  // cancel the rest
+            }
+        }
+    };
+
+    std::vector<std::thread> extra;
+    extra.reserve(workers - 1);
+    for (std::size_t t = 1; t < workers; ++t) extra.emplace_back(run);
+    run();
+    for (auto& th : extra) th.join();
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ga::util

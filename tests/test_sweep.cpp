@@ -1,0 +1,217 @@
+// Tests for the scenario-sweep engine (sim/sweep.hpp) and the threading
+// utilities behind it (util/parallel.hpp): grid expansion, parallel/serial
+// bit-identity over a shared simulator, and the new scenario dimensions
+// (cluster outages, arrival-burst compression).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+namespace sm = ga::sim;
+namespace wl = ga::workload;
+
+const sm::BatchSimulator& shared_simulator() {
+    static const sm::BatchSimulator simulator = [] {
+        wl::TraceOptions o;
+        o.base_jobs = 2000;
+        o.users = 50;
+        o.span_days = 6.0;
+        o.seed = 21;
+        return sm::BatchSimulator(wl::build_workload(o));
+    }();
+    return simulator;
+}
+
+// ----------------------------------------------------------- util/parallel
+TEST(Parallel, ParallelForCoversEveryIndexExactlyOnce) {
+    std::vector<std::atomic<int>> hits(1000);
+    ga::util::parallel_for(hits.size(), 8,
+                           [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ParallelForSingleThreadIsPlainLoop) {
+    std::vector<int> order;
+    ga::util::parallel_for(5, 1, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Parallel, ParallelForPropagatesExceptions) {
+    EXPECT_THROW(ga::util::parallel_for(
+                     100, 4,
+                     [](std::size_t i) {
+                         if (i == 17) throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+}
+
+TEST(Parallel, ThreadPoolRunsEveryTaskAndIsReusable) {
+    ga::util::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([&count] { count.fetch_add(1); });
+        }
+        pool.wait_idle();
+        EXPECT_EQ(count.load(), (batch + 1) * 50);
+    }
+}
+
+// ------------------------------------------------------------- SweepGrid
+TEST(SweepGrid, EmptyGridExpandsToSingleDefaultScenario) {
+    const sm::SweepGrid grid;
+    EXPECT_EQ(grid.size(), 1u);
+    const auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].options.policy, sm::Policy::Greedy);
+    EXPECT_EQ(specs[0].options.pricing, ga::acct::Method::Eba);
+    EXPECT_EQ(specs[0].options.budget, 0.0);
+    EXPECT_FALSE(specs[0].options.outage.has_value());
+}
+
+TEST(SweepGrid, ExpansionIsCartesianProductInDeclaredOrder) {
+    sm::SweepGrid grid;
+    grid.policies = {sm::Policy::Greedy, sm::Policy::Eft};
+    grid.budgets = {100.0, 0.0};
+    grid.arrival_compressions = {1.0, 4.0};
+    EXPECT_EQ(grid.size(), 8u);
+    const auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 8u);
+    // Policies vary slowest, compressions fastest.
+    EXPECT_EQ(specs[0].options.policy, sm::Policy::Greedy);
+    EXPECT_EQ(specs[0].options.budget, 100.0);
+    EXPECT_EQ(specs[0].options.arrival_compression, 1.0);
+    EXPECT_EQ(specs[1].options.arrival_compression, 4.0);
+    EXPECT_EQ(specs[2].options.budget, 0.0);
+    EXPECT_EQ(specs[4].options.policy, sm::Policy::Eft);
+    // Labels are unique scenario identifiers.
+    for (std::size_t a = 0; a < specs.size(); ++a) {
+        for (std::size_t b = a + 1; b < specs.size(); ++b) {
+            EXPECT_NE(specs[a].label, specs[b].label);
+        }
+    }
+}
+
+// ------------------------------------------------------------ SweepRunner
+void expect_identical(const sm::SimResult& a, const sm::SimResult& b) {
+    EXPECT_EQ(a.work_core_hours, b.work_core_hours);
+    EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+    EXPECT_EQ(a.jobs_skipped, b.jobs_skipped);
+    EXPECT_EQ(a.total_cost, b.total_cost);
+    EXPECT_EQ(a.energy_mwh, b.energy_mwh);
+    EXPECT_EQ(a.operational_carbon_kg, b.operational_carbon_kg);
+    EXPECT_EQ(a.attributed_carbon_kg, b.attributed_carbon_kg);
+    EXPECT_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.finish_times_s, b.finish_times_s);
+    EXPECT_EQ(a.jobs_per_machine, b.jobs_per_machine);
+}
+
+TEST(SweepRunner, ParallelResultsBitIdenticalToSerial) {
+    // A full policy x pricing x budget grid, run over 4 worker threads and
+    // compared field-for-field against serial BatchSimulator::run calls.
+    const double budget =
+        shared_simulator().run(sm::SimOptions{}).total_cost * 0.5;
+    sm::SweepGrid grid;
+    grid.policies = {sm::Policy::Greedy, sm::Policy::Energy, sm::Policy::Eft,
+                     sm::Policy::Mixed};
+    grid.pricings = {ga::acct::Method::Eba, ga::acct::Method::Cba};
+    grid.budgets = {0.0, budget};
+    const auto specs = grid.expand();
+
+    sm::SweepRunner runner(shared_simulator(), 4);
+    EXPECT_EQ(runner.threads(), 4u);
+    const auto parallel = runner.run(specs);
+    const auto serial = runner.run_serial(specs);
+    ASSERT_EQ(parallel.size(), specs.size());
+    ASSERT_EQ(serial.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(parallel[i].spec.label, specs[i].label);
+        expect_identical(parallel[i].result, serial[i].result);
+        // And against a direct run of the same options.
+        expect_identical(parallel[i].result,
+                         shared_simulator().run(specs[i].options));
+    }
+}
+
+TEST(SweepRunner, RunnerIsReusableAcrossGrids) {
+    sm::SweepRunner runner(shared_simulator(), 2);
+    sm::SweepGrid a;
+    a.policies = {sm::Policy::Greedy};
+    sm::SweepGrid b;
+    b.policies = {sm::Policy::Eft};
+    const auto ra = runner.run(a);
+    const auto rb = runner.run(b);
+    ASSERT_EQ(ra.size(), 1u);
+    ASSERT_EQ(rb.size(), 1u);
+    EXPECT_GT(ra[0].result.jobs_completed, 0u);
+    EXPECT_GT(rb[0].result.jobs_completed, 0u);
+}
+
+// -------------------------------------------- new scenario dimensions
+TEST(Scenario, FullOutageAtStartSkipsEverythingOnFixedPolicy) {
+    // Theta (cluster 3, 64 nodes) loses every node before the first submit;
+    // the Theta-pinned policy then finds no feasible machine for any job.
+    sm::SimOptions o;
+    o.policy = sm::Policy::FixedTheta;
+    o.outage = sm::ClusterOutage{3, 0.0, 64};
+    const auto r = shared_simulator().run(o);
+    EXPECT_EQ(r.jobs_completed, 0u);
+    EXPECT_EQ(r.jobs_skipped, shared_simulator().workload().jobs.size());
+    EXPECT_EQ(r.total_cost, 0.0);
+}
+
+TEST(Scenario, PartialOutageConservesJobsAndDegradesService) {
+    sm::SimOptions baseline;
+    baseline.policy = sm::Policy::FixedFaster;
+    sm::SimOptions outage = baseline;
+    outage.outage = sm::ClusterOutage{0, 86400.0, 31};  // 32 -> 1 node
+    const auto a = shared_simulator().run(baseline);
+    const auto b = shared_simulator().run(outage);
+    EXPECT_EQ(b.jobs_completed + b.jobs_skipped,
+              shared_simulator().workload().jobs.size());
+    // Shrinking the pinned cluster can only delay completions.
+    EXPECT_GE(b.makespan_s, a.makespan_s);
+    EXPECT_LE(b.jobs_completed, a.jobs_completed);
+}
+
+TEST(Scenario, ArrivalCompressionPreservesJobsAndPullsWorkEarlier) {
+    sm::SimOptions baseline;
+    sm::SimOptions burst = baseline;
+    burst.arrival_compression = 8.0;
+    const auto a = shared_simulator().run(baseline);
+    const auto b = shared_simulator().run(burst);
+    EXPECT_EQ(b.jobs_completed, a.jobs_completed);
+    ASSERT_FALSE(a.finish_times_s.empty());
+    const auto mean = [](const std::vector<double>& v) {
+        return std::accumulate(v.begin(), v.end(), 0.0) /
+               static_cast<double>(v.size());
+    };
+    // Arrivals land 8x earlier, so on average jobs finish earlier even
+    // though queues get more contended.
+    EXPECT_LT(mean(b.finish_times_s), mean(a.finish_times_s));
+}
+
+TEST(Scenario, InvalidScenarioOptionsAreRejected) {
+    sm::SimOptions bad_compression;
+    bad_compression.arrival_compression = 0.0;
+    EXPECT_THROW((void)shared_simulator().run(bad_compression),
+                 ga::util::PreconditionError);
+    sm::SimOptions bad_cluster;
+    bad_cluster.outage = sm::ClusterOutage{99, 0.0, 1};
+    EXPECT_THROW((void)shared_simulator().run(bad_cluster),
+                 ga::util::PreconditionError);
+}
+
+}  // namespace
