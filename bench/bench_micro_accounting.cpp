@@ -16,7 +16,7 @@ void BM_Charge(benchmark::State& state, ga::acct::Method method) {
     usage.duration_s = 1234.0;
     usage.energy_j = 5.6e6;
     usage.cores = 16;
-    usage.submit_time_s = 7200.0;
+    usage.priced_at_s = 7200.0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(accountant->charge(usage, machine));
     }

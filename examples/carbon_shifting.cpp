@@ -34,7 +34,7 @@ int main() {
     int best_hour = 0;
     std::string best_site_of_day;
     for (int h = 0; h < 24; ++h) {
-        job.submit_time_s = 2 * 86400.0 + h * 3600.0;  // day 2 of the week
+        job.priced_at_s = 2 * 86400.0 + h * 3600.0;  // day 2 of the week
         std::string best;
         double best_cost = 1e300;
         for (const auto& entry : ga::machine::simulation_machines()) {

@@ -35,6 +35,20 @@ std::string_view to_string(Method m) noexcept {
     return "unknown";
 }
 
+std::optional<Method> method_from_string(std::string_view name) noexcept {
+    for (const auto m : all_methods()) {
+        if (to_string(m) == name) return m;
+    }
+    return std::nullopt;
+}
+
+const std::vector<Method>& all_methods() {
+    static const std::vector<Method> methods = {
+        Method::Runtime, Method::Energy, Method::Peak, Method::Eba,
+        Method::Cba};
+    return methods;
+}
+
 double RuntimeAccounting::charge(const JobUsage& usage,
                                  const ga::machine::CatalogEntry& m) const {
     validate(usage, m);
@@ -100,7 +114,7 @@ double CarbonBasedAccounting::intensity_at(const ga::machine::CatalogEntry& m,
 double CarbonBasedAccounting::operational_g(const JobUsage& usage,
                                             const ga::machine::CatalogEntry& m) const {
     return ga::util::joules_to_kwh(usage.energy_j) *
-           intensity_at(m, usage.submit_time_s);
+           intensity_at(m, usage.priced_at_s);
 }
 
 double CarbonBasedAccounting::embodied_g(const JobUsage& usage,

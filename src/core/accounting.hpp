@@ -22,8 +22,10 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "carbon/intensity.hpp"
 #include "carbon/rates.hpp"
@@ -42,13 +44,20 @@ struct JobUsage {
     /// routing/budget prices at the job's *submit* time but meters completed
     /// jobs at their actual *start* time (Eq. 2 reads the grid when the job
     /// runs, which differs for queued jobs).
-    double submit_time_s = 0.0;
+    double priced_at_s = 0.0;
 };
 
 /// Accounting method identifiers (paper §4.2 naming).
 enum class Method { Runtime, Energy, Peak, Eba, Cba };
 
 [[nodiscard]] std::string_view to_string(Method m) noexcept;
+
+/// Inverse of `to_string`; std::nullopt for an unknown name.
+[[nodiscard]] std::optional<Method> method_from_string(
+    std::string_view name) noexcept;
+
+/// All five methods, in paper order (Runtime, Energy, Peak, EBA, CBA).
+[[nodiscard]] const std::vector<Method>& all_methods();
 
 /// Interface: price one job on one machine. Charges are in method-specific
 /// units (core-hours, joules, SU-like peak units, EBA joules, gCO2e).

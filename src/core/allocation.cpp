@@ -72,7 +72,7 @@ double Ledger::charge(const std::string& user, const Accountant& accountant,
     t.cost = cost;
     t.duration_s = usage.duration_s;
     t.energy_j = usage.energy_j;
-    t.submit_time_s = usage.submit_time_s;
+    t.priced_at_s = usage.priced_at_s;
     history_.push_back(std::move(t));
     return cost;
 }

@@ -23,7 +23,7 @@ struct Transaction {
     double cost = 0.0;
     double duration_s = 0.0;
     double energy_j = 0.0;
-    double submit_time_s = 0.0;
+    double priced_at_s = 0.0;
 };
 
 /// A single budget with overdraft protection.

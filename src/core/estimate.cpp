@@ -7,14 +7,14 @@ namespace ga::acct {
 CostEstimate CostEstimator::estimate(const ga::machine::WorkProfile& profile,
                                      const ga::machine::CatalogEntry& m, int cores,
                                      const Accountant& accountant,
-                                     double submit_time_s) const {
+                                     double priced_at_s) const {
     const int usable = std::min(cores, m.node.total_cores());
     const auto exec = model_.execute(profile, m.node, usable);
     JobUsage usage;
     usage.duration_s = exec.seconds;
     usage.energy_j = exec.joules;
     usage.cores = usable;
-    usage.submit_time_s = submit_time_s;
+    usage.priced_at_s = priced_at_s;
 
     CostEstimate out;
     out.machine = m.node.name;
@@ -27,11 +27,11 @@ CostEstimate CostEstimator::estimate(const ga::machine::WorkProfile& profile,
 std::vector<CostEstimate> CostEstimator::rank(
     const ga::machine::WorkProfile& profile,
     const std::vector<ga::machine::CatalogEntry>& machines, int cores,
-    const Accountant& accountant, double submit_time_s) const {
+    const Accountant& accountant, double priced_at_s) const {
     std::vector<CostEstimate> out;
     out.reserve(machines.size());
     for (const auto& m : machines) {
-        out.push_back(estimate(profile, m, cores, accountant, submit_time_s));
+        out.push_back(estimate(profile, m, cores, accountant, priced_at_s));
     }
     std::sort(out.begin(), out.end(),
               [](const CostEstimate& a, const CostEstimate& b) {

@@ -27,18 +27,18 @@ public:
                                ga::machine::CpuPerfModel()) noexcept
         : model_(model) {}
 
-    /// Predicts usage of `profile` on `m` with `cores` cores at `submit_time`
-    /// and prices it with `accountant`.
+    /// Predicts usage of `profile` on `m` with `cores` cores, priced at
+    /// absolute time `priced_at_s`, with `accountant`.
     [[nodiscard]] CostEstimate estimate(const ga::machine::WorkProfile& profile,
                                         const ga::machine::CatalogEntry& m,
                                         int cores, const Accountant& accountant,
-                                        double submit_time_s = 0.0) const;
+                                        double priced_at_s = 0.0) const;
 
     /// Ranks a set of machines by estimated cost (cheapest first).
     [[nodiscard]] std::vector<CostEstimate> rank(
         const ga::machine::WorkProfile& profile,
         const std::vector<ga::machine::CatalogEntry>& machines, int cores,
-        const Accountant& accountant, double submit_time_s = 0.0) const;
+        const Accountant& accountant, double priced_at_s = 0.0) const;
 
 private:
     ga::machine::CpuPerfModel model_;

@@ -90,7 +90,7 @@ InvocationResult GreenAccess::submit(const std::string& user,
     usage.duration_s = exec.seconds();
     usage.energy_j = measured;
     usage.cores = exec.cores;
-    usage.submit_time_s = exec.start_s;
+    usage.priced_at_s = exec.start_s;
     const double cost =
         ledger_.charge(user, *accountant_, usage, ep->machine());
     if (cost < 0.0) {

@@ -133,6 +133,9 @@ struct ClusterState {
     std::unordered_set<std::uint32_t> users_running;
 
     [[nodiscard]] double wait_estimate(double now) const noexcept {
+        // A fully-outaged cluster (capacity 0) has an unbounded wait; the
+        // guard keeps 0/0 NaN out of the context views policies read.
+        if (capacity <= 0) return std::numeric_limits<double>::infinity();
         const double running_remaining =
             std::max(0.0, sum_cores_end - now * running_cores);
         return (running_remaining + queued_core_seconds) /
@@ -180,16 +183,29 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
             ? static_cast<const ga::acct::Accountant&>(cba)
             : static_cast<const ga::acct::Accountant&>(eba);
 
-    // Fixed-policy target index.
-    std::optional<std::size_t> fixed_index;
-    if (is_fixed(options.policy)) {
-        const auto name = fixed_machine_name(options.policy);
+    // Resolve the routing strategy: an explicit registry spec when given,
+    // else the legacy enum mapped through the compatibility shim.
+    PolicySpec policy_spec =
+        options.policy_spec.has_value()
+            ? *options.policy_spec
+            : to_spec(options.policy, options.mixed_threshold);
+    // Fixed-machine policies are named after their cluster; resolving the
+    // name to an index once here (as the pre-registry code did) spares
+    // them a per-submit name scan. A no-op for every other policy name.
+    if (policy_spec.params.find("index") == policy_spec.params.end()) {
         for (std::size_t c = 0; c < n_clusters; ++c) {
-            if (clusters_[c].entry.node.name == name) fixed_index = c;
+            if (clusters_[c].entry.node.name == policy_spec.name) {
+                policy_spec.params.emplace("index", static_cast<double>(c));
+            }
         }
-        GA_REQUIRE(fixed_index.has_value(),
-                   "simulator: fixed policy machine not deployed");
     }
+    const auto routing = PolicyRegistry::global().make(policy_spec);
+    // Grid-blind policies (all eight paper builtins among them) let the
+    // submit path skip the per-decision intensity lookups entirely;
+    // current-intensity-only policies skip just the forecast lookup.
+    const bool fill_grid_intensity = routing->uses_grid_intensity();
+    const bool fill_grid_forecast =
+        fill_grid_intensity && routing->uses_grid_forecast();
 
     // ---- state ----
     GA_REQUIRE(options.arrival_compression > 0.0,
@@ -208,9 +224,22 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
     SimResult& result = rs.result;
     result.finish_times_s.reserve(jobs.size());
 
+    // Scheduling context shared by every routing decision: the per-cluster
+    // views are refreshed before each submit; the span stays valid because
+    // `views` never reallocates.
+    constexpr double kGridForecastHorizonS = 3600.0;
+    std::vector<ClusterStatus> views(n_clusters);
+    std::vector<MachineChoice> choices(n_clusters);
+    SchedulingContext ctx;
+    ctx.budget_total = options.budget;
+    ctx.jobs_total = jobs.size();
+    ctx.pricing = options.pricing;
+    ctx.clusters = views;
+
     for (const auto& job : jobs) {
-        rs.events.push(Event{job.submit_s / options.arrival_compression,
-                             EventType::Submit, job.id, 0});
+        const double submit = job.submit_s / options.arrival_compression;
+        ctx.trace_span_s = std::max(ctx.trace_span_s, submit);
+        rs.events.push(Event{submit, EventType::Submit, job.id, 0});
     }
     if (options.outage.has_value()) {
         GA_REQUIRE(options.outage->cluster < n_clusters,
@@ -227,7 +256,7 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
         usage.duration_s = pred_runtime_[j * n_clusters + c];
         usage.energy_j = usage.duration_s * pred_power_[j * n_clusters + c];
         usage.cores = jobs[j].cores;
-        usage.submit_time_s = start_time;
+        usage.priced_at_s = start_time;
         return usage;
     };
 
@@ -335,20 +364,39 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
 
         // ---- submit: route through the policy ----
         const std::uint32_t j = ev.job;
-        std::vector<MachineChoice> choices(n_clusters);
         for (std::size_t c = 0; c < n_clusters; ++c) {
+            const ClusterState& state = rs.cluster[c];
+            const double wait = state.wait_estimate(now);
+
+            ClusterStatus& view = views[c];
+            view.name = clusters_[c].entry.node.name;
+            view.capacity_cores = state.capacity;
+            view.free_cores = state.free_cores;
+            view.queue_depth = state.queue.size();
+            view.queue_wait_s = wait;
+            if (fill_grid_intensity) {
+                view.grid_intensity_g_per_kwh =
+                    cba.intensity_at(clusters_[c].entry, now);
+                if (fill_grid_forecast) {
+                    view.grid_forecast_g_per_kwh = cba.intensity_at(
+                        clusters_[c].entry, now + kGridForecastHorizonS);
+                }
+            }
+
             MachineChoice& ch = choices[c];
+            ch = MachineChoice{};
             ch.machine_index = c;
-            ch.feasible = jobs[j].cores <= rs.cluster[c].capacity;
+            ch.feasible = jobs[j].cores <= state.capacity;
             if (!ch.feasible) continue;
             ch.runtime_s = pred_runtime_[j * n_clusters + c];
             ch.energy_j = ch.runtime_s * pred_power_[j * n_clusters + c];
-            ch.queue_wait_s = rs.cluster[c].wait_estimate(now);
+            ch.queue_wait_s = wait;
             ch.cost = pricer.charge(job_usage(j, c, now), clusters_[c].entry);
         }
-        const auto chosen =
-            choose_machine(options.policy, choices, options.mixed_threshold,
-                           fixed_index);
+        ctx.now_s = now;
+        ctx.budget_remaining = rs.budget_remaining;
+        ++ctx.jobs_submitted;
+        const auto chosen = routing->choose(ctx, choices);
         if (!chosen) {
             ++result.jobs_skipped;
             continue;

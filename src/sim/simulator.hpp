@@ -51,6 +51,11 @@ struct ClusterOutage {
 /// Scenario and accounting configuration for one run.
 struct SimOptions {
     Policy policy = Policy::Greedy;
+    /// Registry policy overriding the enum when set: any builtin or
+    /// user-registered `RoutingPolicy`, selected by name with parameters
+    /// (e.g. {"CarbonAware", {{"forecast", 1}}}). Enum-only options keep
+    /// the paper-faithful shim path (`to_spec(policy, mixed_threshold)`).
+    std::optional<PolicySpec> policy_spec;
     ga::acct::Method pricing = ga::acct::Method::Eba;  ///< Eba or Cba
     double budget = 0.0;            ///< 0 = unlimited (full-workload runs)
     double mixed_threshold = 2.0;   ///< Mixed policy speedup rule

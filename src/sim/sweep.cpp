@@ -16,13 +16,22 @@ std::string format_number(double v) {
     return buf;
 }
 
+/// One point of the combined policy axis: a legacy enum entry or a registry
+/// spec, plus the label fragment it contributes.
+struct PolicyPoint {
+    Policy enum_policy = Policy::Greedy;
+    std::optional<PolicySpec> spec;
+    std::string label;
+};
+
 /// Label for one grid point: policy and pricing always, other axes only
 /// when the grid actually sweeps them (explicitly-set axis).
-std::string make_label(const SimOptions& o, bool with_budget,
-                       bool with_threshold, bool with_regional, bool with_seed,
+std::string make_label(const std::string& policy_label, const SimOptions& o,
+                       bool with_budget, bool with_threshold,
+                       bool with_regional, bool with_seed,
                        bool with_compression, bool with_outage) {
-    std::string label = std::string(to_string(o.policy)) + "/" +
-                        std::string(ga::acct::to_string(o.pricing));
+    std::string label =
+        policy_label + "/" + std::string(ga::acct::to_string(o.pricing));
     if (with_budget) {
         label += o.budget > 0.0 ? "/budget=" + format_number(o.budget)
                                 : "/unbudgeted";
@@ -61,15 +70,30 @@ std::vector<T> axis_or(const std::vector<T>& axis, T fallback) {
 
 std::size_t SweepGrid::size() const noexcept {
     const auto dim = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
-    return dim(policies.size()) * dim(pricings.size()) * dim(budgets.size()) *
-           dim(mixed_thresholds.size()) * dim(regional_grids.size()) *
-           dim(grid_seeds.size()) * dim(arrival_compressions.size()) *
-           dim(outages.size());
+    return dim(policies.size() + policy_specs.size()) * dim(pricings.size()) *
+           dim(budgets.size()) * dim(mixed_thresholds.size()) *
+           dim(regional_grids.size()) * dim(grid_seeds.size()) *
+           dim(arrival_compressions.size()) * dim(outages.size());
 }
 
 std::vector<ScenarioSpec> SweepGrid::expand() const {
     const SimOptions defaults;
-    const auto ps = axis_or(policies, defaults.policy);
+
+    // Combined policy axis: enum entries first, registry specs after.
+    std::vector<PolicyPoint> ps;
+    ps.reserve(policies.size() + policy_specs.size());
+    for (const auto policy : policies) {
+        ps.push_back(
+            PolicyPoint{policy, std::nullopt, std::string(to_string(policy))});
+    }
+    for (const auto& spec : policy_specs) {
+        ps.push_back(PolicyPoint{defaults.policy, spec, spec.label()});
+    }
+    if (ps.empty()) {
+        ps.push_back(PolicyPoint{defaults.policy, std::nullopt,
+                                 std::string(to_string(defaults.policy))});
+    }
+
     const auto ms = axis_or(pricings, defaults.pricing);
     const auto bs = axis_or(budgets, defaults.budget);
     const auto ts = axis_or(mixed_thresholds, defaults.mixed_threshold);
@@ -80,7 +104,7 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
 
     std::vector<ScenarioSpec> specs;
     specs.reserve(size());
-    for (const auto policy : ps)
+    for (const auto& policy : ps)
         for (const auto pricing : ms)
             for (const auto budget : bs)
                 for (const auto threshold : ts)
@@ -89,7 +113,27 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                             for (const auto compression : cs)
                                 for (const auto& outage : os) {
                                     ScenarioSpec spec;
-                                    spec.options.policy = policy;
+                                    spec.options.policy = policy.enum_policy;
+                                    spec.options.policy_spec = policy.spec;
+                                    // A swept threshold axis reaches a
+                                    // "Mixed" spec as its "threshold"
+                                    // param, overriding a pinned value —
+                                    // exactly as the axis overrides
+                                    // SimOptions::mixed_threshold on the
+                                    // enum path — so the "/mixed=X" label
+                                    // always names the threshold that ran.
+                                    // Other specs are left untouched: a
+                                    // custom policy's unrelated
+                                    // "threshold" param is not the Mixed
+                                    // axis's to rewrite.
+                                    if (!mixed_thresholds.empty() &&
+                                        spec.options.policy_spec.has_value() &&
+                                        spec.options.policy_spec->name ==
+                                            "Mixed") {
+                                        spec.options.policy_spec->params
+                                            .insert_or_assign("threshold",
+                                                              threshold);
+                                    }
                                     spec.options.pricing = pricing;
                                     spec.options.budget = budget;
                                     spec.options.mixed_threshold = threshold;
@@ -98,8 +142,17 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                                     spec.options.arrival_compression =
                                         compression;
                                     spec.options.outage = outage;
+                                    // Label the point with the *effective*
+                                    // spec, so an axis-overridden threshold
+                                    // param shows its real value.
+                                    const std::string policy_label =
+                                        spec.options.policy_spec.has_value() &&
+                                                !mixed_thresholds.empty()
+                                            ? spec.options.policy_spec->label()
+                                            : policy.label;
                                     spec.label = make_label(
-                                        spec.options, !budgets.empty(),
+                                        policy_label, spec.options,
+                                        !budgets.empty(),
                                         !mixed_thresholds.empty(),
                                         !regional_grids.empty(),
                                         !grid_seeds.empty(),

@@ -3,6 +3,9 @@
 // The paper's experiments (Figs 5–7, Table 6) are grids of simulation runs:
 // policy × pricing × budget, plus scenario switches (regional grids, grid
 // seeds) and — beyond the paper — cluster outages and arrival-burst scaling.
+// The policy axis spans both legacy enum policies and named registry
+// strategies (`policy_specs`), so context-aware and user-registered
+// policies sweep exactly like the paper's eight.
 // `SweepGrid` describes such a grid declaratively, `expand()` turns it into
 // a deterministic list of `ScenarioSpec`s, and `SweepRunner` executes the
 // specs concurrently over one shared immutable `BatchSimulator`.
@@ -35,8 +38,20 @@ struct ScenarioSpec {
 /// to eight unbudgeted EBA scenarios.
 struct SweepGrid {
     std::vector<Policy> policies;
+    /// Registry policies swept alongside the enum axis: the combined policy
+    /// dimension is `policies` (in order) followed by `policy_specs`, so a
+    /// grid can compare paper policies and context-aware strategies (or
+    /// user-registered ones) in one expansion.
+    std::vector<PolicySpec> policy_specs;
     std::vector<ga::acct::Method> pricings;
     std::vector<double> budgets;  ///< 0 = unlimited
+    /// Mixed-policy speedup thresholds. Swept values also reach "Mixed"
+    /// registry specs as their "threshold" param, overriding a value
+    /// pinned in the spec (just as the axis overrides
+    /// `SimOptions::mixed_threshold` on the enum path) — every "/mixed=X"
+    /// label names the threshold that actually ran. Specs of other
+    /// policies are never rewritten by this axis; pin a Mixed spec's
+    /// threshold by not sweeping it.
     std::vector<double> mixed_thresholds;
     std::vector<bool> regional_grids;
     std::vector<std::uint64_t> grid_seeds;

@@ -108,15 +108,15 @@ TEST(Cba, MatchesEquationTwo) {
     EXPECT_NEAR(acct.charge(u, ic), expected_op + expected_embodied, 1e-9);
 }
 
-TEST(Cba, UsesIntensityTraceAtSubmitTime) {
+TEST(Cba, UsesIntensityTraceAtPricedTime) {
     std::map<std::string, cb::IntensityTrace> traces;
     traces.emplace("IC", cb::IntensityTrace::hourly({100.0, 500.0}, 0.0, "t"));
     const ac::CarbonBasedAccounting acct(std::move(traces));
     const auto& ic = mc::find(mc::CatalogId::InstitutionalCluster);
     auto u = cpu_job(60.0, ga::util::kwh_to_joules(1.0), 1);
-    u.submit_time_s = 0.0;
+    u.priced_at_s = 0.0;
     const double early = acct.operational_g(u, ic);
-    u.submit_time_s = 3601.0;
+    u.priced_at_s = 3601.0;
     const double late = acct.operational_g(u, ic);
     EXPECT_DOUBLE_EQ(early, 100.0);
     EXPECT_DOUBLE_EQ(late, 500.0);
@@ -135,14 +135,24 @@ TEST(Cba, LinearVsAcceleratedDepreciationSelectable) {
 }
 
 TEST(Methods, FactoryCoversAll) {
-    for (const auto m : {ac::Method::Runtime, ac::Method::Energy, ac::Method::Peak,
-                         ac::Method::Eba, ac::Method::Cba}) {
+    ASSERT_EQ(ac::all_methods().size(), 5u);
+    for (const auto m : ac::all_methods()) {
         const auto acct = ac::make_accountant(m);
         ASSERT_NE(acct, nullptr);
         EXPECT_EQ(acct->method(), m);
         EXPECT_FALSE(std::string(acct->unit()).empty());
         EXPECT_FALSE(std::string(ac::to_string(m)).empty());
     }
+}
+
+TEST(Methods, FromStringRoundTripsToString) {
+    for (const auto m : ac::all_methods()) {
+        const auto parsed = ac::method_from_string(ac::to_string(m));
+        ASSERT_TRUE(parsed.has_value()) << ac::to_string(m);
+        EXPECT_EQ(*parsed, m);
+    }
+    EXPECT_FALSE(ac::method_from_string("NoSuchMethod").has_value());
+    EXPECT_FALSE(ac::method_from_string("eba").has_value());  // exact match
 }
 
 TEST(Methods, RejectInvalidUsage) {

@@ -162,7 +162,7 @@ TEST(Fig7, CheapestEndpointShiftsWithTimeOfDay) {
         // 32 cores: a cluster job (the Desktop's near-zero-carbon hydro grid
         // would otherwise win every hour for jobs that fit it).
         u.cores = 32;
-        u.submit_time_s = 3.0 * 86400.0 + hour * 3600.0;  // a mid-trace day
+        u.priced_at_s = 3.0 * 86400.0 + hour * 3600.0;  // a mid-trace day
         std::string best;
         double best_cost = 1e300;
         for (const auto& entry : mc::simulation_machines()) {

@@ -100,6 +100,56 @@ TEST(Policy, FixedUsesProvidedIndex) {
                  ga::util::PreconditionError);
 }
 
+TEST(Policy, AllMachinesInfeasibleReturnsNulloptForEveryPolicy) {
+    auto c = three_choices();
+    for (auto& choice : c) choice.feasible = false;
+    for (const auto p : sm::all_policies()) {
+        EXPECT_FALSE(sm::choose_machine(p, c, 2.0, 0u).has_value())
+            << sm::to_string(p);
+    }
+}
+
+TEST(Policy, ExactTiesPickTheLowestMachineIndex) {
+    // Identical machines everywhere: every argmin-style policy must settle
+    // ties deterministically on the lowest index.
+    std::vector<sm::MachineChoice> c(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+        c[i].machine_index = i;
+        c[i].runtime_s = 10.0;
+        c[i].energy_j = 100.0;
+        c[i].cost = 50.0;
+        c[i].queue_wait_s = 5.0;
+    }
+    for (const auto p :
+         {sm::Policy::Greedy, sm::Policy::Energy, sm::Policy::Runtime,
+          sm::Policy::Eft, sm::Policy::Mixed}) {
+        EXPECT_EQ(*sm::choose_machine(p, c), 0u) << sm::to_string(p);
+    }
+    // The tie-break holds among the still-tied machines once one drops out.
+    c[0].feasible = false;
+    EXPECT_EQ(*sm::choose_machine(sm::Policy::Greedy, c), 1u);
+}
+
+TEST(Policy, MixedAtExactThresholdBoundaryKeepsCheapest) {
+    // Cheapest completes in exactly threshold x the fastest's completion
+    // time. The Mixed rule is a strict inequality, so the boundary case
+    // must NOT switch: the cheapest machine wins.
+    std::vector<sm::MachineChoice> c(2);
+    c[0].machine_index = 0;  // cheapest: completion 100 s
+    c[0].runtime_s = 100.0;
+    c[0].cost = 10.0;
+    c[1].machine_index = 1;  // fastest: completion exactly 50 s
+    c[1].runtime_s = 50.0;
+    c[1].cost = 20.0;
+    EXPECT_EQ(*sm::choose_machine(sm::Policy::Mixed, c, 2.0), 0u);
+    // An epsilon under the boundary switches to the fast machine...
+    EXPECT_EQ(*sm::choose_machine(sm::Policy::Mixed, c, 1.999), 1u);
+    // ...and queue wait counts toward completion time: with 1 s of backlog
+    // on the fast machine (51 s total), 2x no longer reaches 100 s.
+    c[1].queue_wait_s = 1.0;
+    EXPECT_EQ(*sm::choose_machine(sm::Policy::Mixed, c, 1.999), 0u);
+}
+
 // ---------------------------------------------------------------- engine
 TEST(Simulator, ConservationOfJobs) {
     for (const auto p : sm::all_policies()) {
@@ -380,7 +430,7 @@ TEST(Simulator, CbaMetersOperationalCarbonAtJobStart) {
         u.duration_s = per.runtime_s;
         u.energy_j = per.runtime_s * per.power_w;
         u.cores = w.jobs[j].cores;
-        u.submit_time_s = start;
+        u.priced_at_s = start;
         return u;
     };
     const double start1 = ic_runtime(sim, 0);  // J1 starts at J0's finish

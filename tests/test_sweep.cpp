@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/sweep.hpp"
+#include "sim_result_matchers.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "workload/workload.hpp"
@@ -18,6 +19,7 @@ namespace {
 
 namespace sm = ga::sim;
 namespace wl = ga::workload;
+using ga::testutil::expect_identical;
 
 const sm::BatchSimulator& shared_simulator() {
     static const sm::BatchSimulator simulator = [] {
@@ -104,20 +106,67 @@ TEST(SweepGrid, ExpansionIsCartesianProductInDeclaredOrder) {
     }
 }
 
-// ------------------------------------------------------------ SweepRunner
-void expect_identical(const sm::SimResult& a, const sm::SimResult& b) {
-    EXPECT_EQ(a.work_core_hours, b.work_core_hours);
-    EXPECT_EQ(a.jobs_completed, b.jobs_completed);
-    EXPECT_EQ(a.jobs_skipped, b.jobs_skipped);
-    EXPECT_EQ(a.total_cost, b.total_cost);
-    EXPECT_EQ(a.energy_mwh, b.energy_mwh);
-    EXPECT_EQ(a.operational_carbon_kg, b.operational_carbon_kg);
-    EXPECT_EQ(a.attributed_carbon_kg, b.attributed_carbon_kg);
-    EXPECT_EQ(a.makespan_s, b.makespan_s);
-    EXPECT_EQ(a.finish_times_s, b.finish_times_s);
-    EXPECT_EQ(a.jobs_per_machine, b.jobs_per_machine);
+TEST(SweepGrid, PolicySpecsExtendThePolicyAxis) {
+    sm::SweepGrid grid;
+    grid.policies = {sm::Policy::Greedy, sm::Policy::Eft};
+    grid.policy_specs = {sm::PolicySpec{"CarbonAware", {}},
+                         sm::PolicySpec{"Mixed", {{"threshold", 1.5}}}};
+    grid.budgets = {100.0};
+    EXPECT_EQ(grid.size(), 4u);
+    const auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 4u);
+    // Enum entries first (no spec set), registry specs after.
+    EXPECT_FALSE(specs[0].options.policy_spec.has_value());
+    EXPECT_EQ(specs[0].options.policy, sm::Policy::Greedy);
+    EXPECT_FALSE(specs[1].options.policy_spec.has_value());
+    EXPECT_EQ(specs[1].options.policy, sm::Policy::Eft);
+    ASSERT_TRUE(specs[2].options.policy_spec.has_value());
+    EXPECT_EQ(specs[2].options.policy_spec->name, "CarbonAware");
+    ASSERT_TRUE(specs[3].options.policy_spec.has_value());
+    EXPECT_EQ(specs[3].options.policy_spec->name, "Mixed");
+    EXPECT_EQ(specs[2].label, "CarbonAware/EBA/budget=100");
+    EXPECT_EQ(specs[3].label, "Mixed(threshold=1.5)/EBA/budget=100");
 }
 
+TEST(SweepGrid, SweptThresholdAxisOverridesSpecParamSoLabelsAreTruthful) {
+    // The "/mixed=X" label must always name the threshold that ran: a swept
+    // axis overrides a threshold pinned in the spec, exactly as it
+    // overrides SimOptions::mixed_threshold on the enum path.
+    sm::SweepGrid grid;
+    grid.policy_specs = {sm::PolicySpec{"Mixed", {{"threshold", 1.5}}}};
+    grid.mixed_thresholds = {2.0, 3.0};
+    const auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_DOUBLE_EQ(specs[0].options.policy_spec->param("threshold", 0.0),
+                     2.0);
+    EXPECT_DOUBLE_EQ(specs[1].options.policy_spec->param("threshold", 0.0),
+                     3.0);
+    EXPECT_EQ(specs[0].label, "Mixed(threshold=2)/EBA/mixed=2");
+    EXPECT_EQ(specs[1].label, "Mixed(threshold=3)/EBA/mixed=3");
+    // An unswept axis leaves the pinned param untouched.
+    sm::SweepGrid pinned;
+    pinned.policy_specs = grid.policy_specs;
+    EXPECT_DOUBLE_EQ(
+        pinned.expand()[0].options.policy_spec->param("threshold", 0.0), 1.5);
+    // And the axis never rewrites another policy's unrelated "threshold"
+    // param (e.g. a custom strategy where it means something else).
+    sm::SweepGrid other;
+    other.policy_specs = {sm::PolicySpec{"BudgetPacing", {{"threshold", 9.0}}}};
+    other.mixed_thresholds = {2.0};
+    EXPECT_DOUBLE_EQ(
+        other.expand()[0].options.policy_spec->param("threshold", 0.0), 9.0);
+}
+
+TEST(SweepGrid, SpecOnlyGridNeedsNoEnumAxis) {
+    sm::SweepGrid grid;
+    grid.policy_specs = {sm::PolicySpec{"LeastLoaded", {}}};
+    EXPECT_EQ(grid.size(), 1u);
+    const auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].label, "LeastLoaded/EBA");
+}
+
+// ------------------------------------------------------------ SweepRunner
 TEST(SweepRunner, ParallelResultsBitIdenticalToSerial) {
     // A full policy x pricing x budget grid, run over 4 worker threads and
     // compared field-for-field against serial BatchSimulator::run calls.
@@ -140,6 +189,31 @@ TEST(SweepRunner, ParallelResultsBitIdenticalToSerial) {
         EXPECT_EQ(parallel[i].spec.label, specs[i].label);
         expect_identical(parallel[i].result, serial[i].result);
         // And against a direct run of the same options.
+        expect_identical(parallel[i].result,
+                         shared_simulator().run(specs[i].options));
+    }
+}
+
+TEST(SweepRunner, RegistryPoliciesParallelBitIdenticalToSerial) {
+    // The acceptance bar for the open policy API: the three beyond-paper
+    // context-aware policies, swept by name alongside an enum entry, keep
+    // the engine's parallel == serial bit-identity guarantee.
+    const double budget =
+        shared_simulator().run(sm::SimOptions{}).total_cost * 0.5;
+    sm::SweepGrid grid;
+    grid.policies = {sm::Policy::Greedy};
+    grid.policy_specs = sm::beyond_paper_policies();
+    grid.budgets = {0.0, budget};
+    grid.regional_grids = {true};
+    const auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 8u);
+
+    sm::SweepRunner runner(shared_simulator(), 4);
+    const auto parallel = runner.run(specs);
+    const auto serial = runner.run_serial(specs);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(parallel[i].spec.label, specs[i].label);
+        expect_identical(parallel[i].result, serial[i].result);
         expect_identical(parallel[i].result,
                          shared_simulator().run(specs[i].options));
     }
