@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "util/table.hpp"
 
@@ -11,6 +12,16 @@ namespace ga::bench {
 /// Prints a section banner so concatenated bench output stays navigable.
 inline void banner(const std::string& title) {
     std::printf("\n================ %s ================\n", title.c_str());
+}
+
+/// True when the driver was invoked with `--smoke`: run a tiny scenario so
+/// CI can exercise every bench driver end-to-end (bit-rot check) without
+/// paying for the paper-scale workloads.
+inline bool smoke_mode(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--smoke") return true;
+    }
+    return false;
 }
 
 /// Formats a normalized-cost cell the way the paper's tables do.

@@ -7,7 +7,10 @@
 #include "study/study.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    // Sub-second already; --smoke is accepted so CI can invoke every
+    // bench_fig* driver uniformly.
+    (void)ga::bench::smoke_mode(argc, argv);
     ga::bench::banner("Figure 10: run probability vs job energy");
 
     const auto results = ga::study::run_study();

@@ -5,7 +5,10 @@
 #include "study/survey.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    // Sub-second already; --smoke is accepted so CI can invoke every
+    // bench_fig* driver uniformly.
+    (void)ga::bench::smoke_mode(argc, argv);
     ga::bench::banner("Figure 2: machine-selection priorities");
 
     ga::util::TablePrinter table(

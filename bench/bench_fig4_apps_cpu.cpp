@@ -2,6 +2,7 @@
 // Chameleon CPU nodes. The kernels really execute once each (counting their
 // work), then the calibrated machine model maps the measured profiles onto
 // every node.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -10,7 +11,8 @@
 #include "machine/perf.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    const bool smoke = ga::bench::smoke_mode(argc, argv);
     ga::bench::banner("Figure 4: seven applications on four CPU nodes");
 
     const auto machines = ga::machine::chameleon_cpu_nodes();
@@ -25,9 +27,13 @@ int main() {
     energy_table.set_title("Task energy per node (model)");
 
     for (const auto& kernel : ga::kernels::make_suite()) {
+        // Smoke mode quarters the problem size: the kernels still really
+        // execute and self-verify, just small enough for a CI tick.
+        const int n = smoke ? std::max(1, kernel->paper_scale() / 4)
+                            : kernel->paper_scale();
         std::printf("running %s (n=%d)...\n",
-                    std::string(kernel->name()).c_str(), kernel->paper_scale());
-        const auto result = kernel->run(kernel->paper_scale());
+                    std::string(kernel->name()).c_str(), n);
+        const auto result = kernel->run(n);
 
         std::vector<std::string> rt_row = {std::string(kernel->name())};
         std::vector<std::string> en_row = {std::string(kernel->name())};

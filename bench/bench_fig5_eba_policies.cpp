@@ -12,9 +12,10 @@
 #include "bench_sim_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    const bool smoke = ga::bench::smoke_mode(argc, argv);
     ga::bench::banner("Figure 5: EBA simulation (8 policies)");
-    const auto simulator = ga::bench::make_simulator();
+    const auto simulator = ga::bench::make_simulator(ga::bench::scale_for(smoke));
 
     // The fixed allocation: 75% of what Greedy needs for the full workload.
     const auto greedy_full =
@@ -24,9 +25,12 @@ int main() {
                 budget);
 
     // One grid, all policies, both budget levels; rows are classified by
-    // each outcome's own spec, independent of expansion order.
+    // each outcome's own spec, independent of expansion order. Pricing runs
+    // through the open accounting API — an explicit EBA registry spec,
+    // bit-identical to the legacy enum axis.
     ga::sim::SweepGrid grid;
     grid.policies = ga::sim::all_policies();
+    grid.accountant_specs = {ga::acct::to_spec(ga::acct::Method::Eba)};
     grid.budgets = {budget, 0.0};
     const auto outcomes = ga::bench::sweep(simulator, grid);
 

@@ -2,14 +2,17 @@
 // adaptive policies. The five budgeted runs execute concurrently through
 // the sweep engine.
 #include <cstdio>
+#include <tuple>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bench_sim_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    const bool smoke = ga::bench::smoke_mode(argc, argv);
     ga::bench::banner("Figure 6: CBA simulation, work at fixed allocation");
-    const auto simulator = ga::bench::make_simulator();
+    const auto simulator = ga::bench::make_simulator(ga::bench::scale_for(smoke));
 
     // Match the paper: the CBA budget lets Greedy run the same share of work
     // as it did in Fig 5a (75% of its full-run cost there).
@@ -43,5 +46,64 @@ int main() {
         "\nPaper shapes: under CBA the Energy policy loses ground (FASTER's\n"
         "embodied rate is charged against it) while Runtime gains; Greedy\n"
         "adapts, moving ~50%% of jobs to IC and only ~11%% to FASTER.\n");
+
+    // ---- beyond the paper: dual-budget users (core hours AND gCO2e) ----
+    // Every user-facing charge is quoted in two currencies at once; a job is
+    // admitted only if both the core-hour and the carbon allocation can pay.
+    // The same Greedy workload is run by a core-hour-rich/carbon-poor user
+    // and a core-hour-poor/carbon-rich one: the binding currency decides how
+    // much science the allocation buys.
+    ga::bench::banner("Dual-budget: core-hour-rich/carbon-poor vs the reverse");
+    const auto core_hours = [](double b) {
+        return ga::sim::CurrencyBudget{
+            "core-hours", ga::acct::to_spec(ga::acct::Method::Runtime), b};
+    };
+    const auto carbon = [](double b) {
+        return ga::sim::CurrencyBudget{
+            "gCO2e", ga::acct::to_spec(ga::acct::Method::Cba), b};
+    };
+    ga::sim::SimOptions metered;
+    metered.currency_budgets = {core_hours(0.0), carbon(0.0)};  // unlimited
+    const auto full = simulator.run(metered);
+    const double full_ch = full.currency_spent.at("core-hours");
+    const double full_g = full.currency_spent.at("gCO2e");
+    std::printf("full Greedy run spends %.3g core-hours and %.3g gCO2e\n",
+                full_ch, full_g);
+
+    std::vector<ga::sim::ScenarioSpec> dual;
+    for (const auto& [label, ch_frac, g_frac] :
+         {std::tuple{"core-rich / carbon-poor", 0.9, 0.3},
+          std::tuple{"core-poor / carbon-rich", 0.3, 0.9},
+          std::tuple{"rich in both", 0.9, 0.9}}) {
+        ga::sim::ScenarioSpec spec;
+        spec.label = label;
+        spec.options.currency_budgets = {core_hours(full_ch * ch_frac),
+                                         carbon(full_g * g_frac)};
+        dual.push_back(std::move(spec));
+    }
+    ga::sim::SweepRunner runner(simulator);
+    ga::util::TablePrinter dual_table({"User", "Jobs done", "Work (M core-h)",
+                                       "core-h spent", "gCO2e spent",
+                                       "IC share", "FASTER share"});
+    dual_table.set_title("Greedy/EBA routing under dual allocations");
+    for (const auto& outcome : runner.run(dual)) {
+        const auto& r = outcome.result;
+        const double total = static_cast<double>(r.jobs_completed);
+        dual_table.add_row(
+            {outcome.spec.label, std::to_string(r.jobs_completed),
+             ga::util::TablePrinter::num(r.work_core_hours / 1e6, 2),
+             ga::util::TablePrinter::num(r.currency_spent.at("core-hours"), 0),
+             ga::util::TablePrinter::num(r.currency_spent.at("gCO2e"), 0),
+             ga::util::TablePrinter::num(
+                 r.jobs_per_machine.at("IC") / total * 100.0, 0) + "%",
+             ga::util::TablePrinter::num(
+                 r.jobs_per_machine.at("FASTER") / total * 100.0, 0) + "%"});
+    }
+    std::printf("%s", dual_table.render().c_str());
+    std::printf(
+        "\nReading: the carbon-poor user hits the gCO2e wall first and\n"
+        "finishes fewer jobs on the same core-hour wealth; the carbon-rich\n"
+        "user is limited by core-hours instead — holding *both* currencies\n"
+        "(the paper's titular proposal) is what makes the trade-off visible.\n");
     return 0;
 }

@@ -12,9 +12,10 @@
 #include "core/accounting.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    const bool smoke = ga::bench::smoke_mode(argc, argv);
     ga::bench::banner("Figure 7: CBA with low-carbon regional grids");
-    const auto simulator = ga::bench::make_simulator();
+    const auto simulator = ga::bench::make_simulator(ga::bench::scale_for(smoke));
 
     // ---- 7a: the five budgeted regional-grid runs, swept concurrently ----
     // Beyond the paper, the same grid also sweeps three context-aware

@@ -14,6 +14,10 @@
 
 namespace ga::bench {
 
+/// Workload scale for a driver mode: full paper scale, or ~1% under
+/// `--smoke` (see ga::bench::smoke_mode) so CI finishes in seconds.
+inline double scale_for(bool smoke) { return smoke ? 0.01 : 1.0; }
+
 /// Builds the paper-scale workload (142,380 jobs) and the simulator.
 /// Pass `scale < 1.0` to shrink for quick runs.
 inline ga::sim::BatchSimulator make_simulator(double scale = 1.0) {

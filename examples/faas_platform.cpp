@@ -40,19 +40,18 @@ int main() {
                     r.cost);
     }
 
-    // Audit trail: what the frontend would show the user.
+    // Audit trail: what the frontend would show the user. history() returns
+    // a snapshot copy (the ledger is thread-safe), so take it once.
     std::printf("\nledger for aisha (remaining %.1f):\n",
                 platform.ledger().remaining("aisha"));
-    for (const auto& t : platform.ledger().history()) {
-        std::printf("  tx#%llu %-13s %-8s cost %9.2f (%.2f J over %.3f s)\n",
+    const auto history = platform.ledger().history();
+    for (const auto& t : history) {
+        std::printf("  tx#%llu %-13s %4d cores, cost %9.2f %s (%.2f J over %.3f s)\n",
                     static_cast<unsigned long long>(t.id), t.machine.c_str(),
-                    std::string(ga::acct::to_string(t.method)).c_str(), t.cost,
-                    t.energy_j, t.duration_s);
+                    t.cores, t.cost, t.unit.c_str(), t.energy_j, t.duration_s);
     }
-    const double idle =
-        platform.monitor().idle_estimate_w(platform.ledger().history().empty()
-                                               ? "Desktop"
-                                               : platform.ledger().history()[0].machine);
+    const double idle = platform.monitor().idle_estimate_w(
+        history.empty() ? "Desktop" : history[0].machine);
     std::printf("\nmonitor's fitted idle power on the busiest endpoint: %.1f W\n",
                 idle);
     return 0;

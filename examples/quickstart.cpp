@@ -48,5 +48,16 @@ int main() {
     const double cost = ledger.charge("you", cba, usage, machine);
     std::printf("charged %.3f gCO2e; %.1f gCO2e remaining\n", cost,
                 ledger.remaining("you"));
+
+    // 5. Multi-currency account: core hours AND carbon credits at once —
+    // the job is admitted only if both allocations can pay.
+    ledger.define_currency("core-hours",
+                           ga::acct::to_spec(ga::acct::Method::Runtime));
+    ledger.define_currency("gCO2e", ga::acct::to_spec(ga::acct::Method::Cba));
+    ledger.create_account("dual", {{"core-hours", 500.0}, {"gCO2e", 10'000.0}});
+    const auto outcome = ledger.charge("dual", usage, machine);
+    std::printf("dual account charged %.3f core-hours + %.3f gCO2e (%s)\n",
+                outcome.costs.at("core-hours"), outcome.costs.at("gCO2e"),
+                outcome.admitted ? "admitted" : "refused");
     return 0;
 }

@@ -1,6 +1,9 @@
 #include "core/accounting.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
+#include "util/spec.hpp"
 #include "util/units.hpp"
 
 namespace ga::acct {
@@ -22,32 +25,126 @@ void validate(const JobUsage& usage, const ga::machine::CatalogEntry& m) {
     // multiple nodes of the same machine type; per-core rates still apply.
 }
 
+/// Shared "depreciation" registry param: 0 = double-declining (the paper's
+/// choice), 1 = linear.
+ga::carbon::DepreciationMethod depreciation_param(const AccountantSpec& spec) {
+    const double d = spec.param("depreciation", 0.0);
+    GA_REQUIRE(d == 0.0 || d == 1.0,
+               "accounting: depreciation param must be 0 (DDB) or 1 (linear)");
+    return d == 0.0 ? ga::carbon::DepreciationMethod::DoubleDeclining
+                    : ga::carbon::DepreciationMethod::Linear;
+}
+
+void register_builtins(AccountantRegistry& r) {
+    r.register_accountant("Runtime", [](const AccountantSpec&) {
+        return std::make_unique<RuntimeAccounting>();
+    });
+    r.register_accountant("Energy", [](const AccountantSpec&) {
+        return std::make_unique<EnergyAccounting>();
+    });
+    r.register_accountant("Peak", [](const AccountantSpec&) {
+        return std::make_unique<PeakAccounting>();
+    });
+    r.register_accountant("EBA", [](const AccountantSpec& spec) {
+        // "pue" is a switch for the machine's *catalog* PUE, not a PUE
+        // value — reject anything but 0/1 so passing an actual PUE (1.58)
+        // fails loudly instead of silently flipping the flag.
+        const double pue = spec.param("pue", 0.0);
+        GA_REQUIRE(pue == 0.0 || pue == 1.0,
+                   "EBA: pue param must be 0 (off) or 1 (apply catalog PUE)");
+        return std::make_unique<EnergyBasedAccounting>(spec.param("beta", 1.0),
+                                                       pue == 1.0);
+    });
+    r.register_accountant("CBA", [](const AccountantSpec& spec) {
+        return std::make_unique<CarbonBasedAccounting>(
+            std::map<std::string, ga::carbon::IntensityTrace>{},
+            depreciation_param(spec));
+    });
+    r.register_accountant("Blended", [](const AccountantSpec& spec) {
+        return std::make_unique<BlendedAccounting>(
+            spec.param("core_weight", 1.0), spec.param("carbon_weight", 1.0),
+            CarbonBasedAccounting({}, depreciation_param(spec)));
+    });
+    r.register_accountant("CarbonTax", [](const AccountantSpec& spec) {
+        return std::make_unique<CarbonTaxAccounting>(
+            spec.param("rate", 0.01),
+            CarbonBasedAccounting({}, depreciation_param(spec)));
+    });
+}
+
 }  // namespace
 
-std::string_view to_string(Method m) noexcept {
-    switch (m) {
-        case Method::Runtime: return "Runtime";
-        case Method::Energy: return "Energy";
-        case Method::Peak: return "Peak";
-        case Method::Eba: return "EBA";
-        case Method::Cba: return "CBA";
-    }
-    return "unknown";
+// --------------------------------------------------------- AccountantSpec
+
+double AccountantSpec::param(std::string_view key, double fallback) const {
+    return ga::util::spec_param(params, key, fallback);
 }
 
-std::optional<Method> method_from_string(std::string_view name) noexcept {
-    for (const auto m : all_methods()) {
-        if (to_string(m) == name) return m;
-    }
-    return std::nullopt;
+std::string AccountantSpec::label() const {
+    return ga::util::spec_label(name, params);
 }
 
-const std::vector<Method>& all_methods() {
-    static const std::vector<Method> methods = {
-        Method::Runtime, Method::Energy, Method::Peak, Method::Eba,
-        Method::Cba};
-    return methods;
+// ---------------------------------------------------- AccountantRegistry
+
+void AccountantRegistry::register_accountant(std::string name, Factory factory) {
+    GA_REQUIRE(!name.empty(), "registry: accountant name must not be empty");
+    GA_REQUIRE(factory != nullptr,
+               "registry: accountant factory must not be null");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] =
+        factories_.emplace(std::move(name), std::move(factory));
+    GA_REQUIRE(inserted,
+               "registry: accountant '" + it->first + "' already registered");
 }
+
+bool AccountantRegistry::contains(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> AccountantRegistry::names() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) out.push_back(name);
+    return out;
+}
+
+std::unique_ptr<const Accountant> AccountantRegistry::make(
+    const AccountantSpec& spec) const {
+    Factory factory;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = factories_.find(spec.name);
+        if (it == factories_.end()) {
+            throw ga::util::RuntimeError("registry: unknown accountant '" +
+                                         spec.name + "'");
+        }
+        factory = it->second;
+    }
+    // Build outside the lock: factories may be arbitrarily slow user code.
+    return factory(spec);
+}
+
+AccountantRegistry& AccountantRegistry::global() {
+    static AccountantRegistry registry;
+    static const bool initialized = [] {
+        register_builtins(registry);
+        return true;
+    }();
+    (void)initialized;
+    return registry;
+}
+
+const std::vector<AccountantSpec>& beyond_paper_accountants() {
+    static const std::vector<AccountantSpec> specs = {
+        AccountantSpec{"Blended", {}},
+        AccountantSpec{"CarbonTax", {}},
+    };
+    return specs;
+}
+
+// ------------------------------------------------------- builtin methods
 
 double RuntimeAccounting::charge(const JobUsage& usage,
                                  const ga::machine::CatalogEntry& m) const {
@@ -104,6 +201,11 @@ CarbonBasedAccounting::CarbonBasedAccounting(
     ga::carbon::DepreciationMethod depreciation)
     : intensity_(std::move(intensity)), depreciation_(depreciation) {}
 
+std::unique_ptr<Accountant> CarbonBasedAccounting::with_grid(
+    const std::map<std::string, ga::carbon::IntensityTrace>& intensity) const {
+    return std::make_unique<CarbonBasedAccounting>(intensity, depreciation_);
+}
+
 double CarbonBasedAccounting::intensity_at(const ga::machine::CatalogEntry& m,
                                            double t_seconds) const {
     const auto it = intensity_.find(m.node.name);
@@ -134,15 +236,82 @@ double CarbonBasedAccounting::charge(const JobUsage& usage,
     return operational_g(usage, m) + embodied_g(usage, m);
 }
 
-std::unique_ptr<Accountant> make_accountant(Method m) {
+// --------------------------------------------- beyond-paper composites
+
+BlendedAccounting::BlendedAccounting(double core_weight, double carbon_weight,
+                                     CarbonBasedAccounting carbon)
+    : core_weight_(core_weight),
+      carbon_weight_(carbon_weight),
+      carbon_(std::move(carbon)) {
+    GA_REQUIRE(core_weight >= 0.0 && carbon_weight >= 0.0,
+               "Blended: weights must be non-negative");
+    GA_REQUIRE(core_weight + carbon_weight > 0.0,
+               "Blended: at least one weight must be positive");
+}
+
+double BlendedAccounting::charge(const JobUsage& usage,
+                                 const ga::machine::CatalogEntry& m) const {
+    return core_weight_ * runtime_.charge(usage, m) +
+           carbon_weight_ * carbon_.charge(usage, m);
+}
+
+std::unique_ptr<Accountant> BlendedAccounting::with_grid(
+    const std::map<std::string, ga::carbon::IntensityTrace>& intensity) const {
+    return std::make_unique<BlendedAccounting>(
+        core_weight_, carbon_weight_,
+        CarbonBasedAccounting(intensity, carbon_.depreciation()));
+}
+
+CarbonTaxAccounting::CarbonTaxAccounting(double tax_per_g,
+                                         CarbonBasedAccounting carbon)
+    : tax_per_g_(tax_per_g), carbon_(std::move(carbon)) {
+    GA_REQUIRE(tax_per_g >= 0.0, "CarbonTax: rate must be non-negative");
+}
+
+double CarbonTaxAccounting::charge(const JobUsage& usage,
+                                   const ga::machine::CatalogEntry& m) const {
+    return runtime_.charge(usage, m) + tax_per_g_ * carbon_.charge(usage, m);
+}
+
+std::unique_ptr<Accountant> CarbonTaxAccounting::with_grid(
+    const std::map<std::string, ga::carbon::IntensityTrace>& intensity) const {
+    return std::make_unique<CarbonTaxAccounting>(
+        tax_per_g_, CarbonBasedAccounting(intensity, carbon_.depreciation()));
+}
+
+// ------------------------------------------------------ legacy enum shim
+
+std::string_view to_string(Method m) noexcept {
     switch (m) {
-        case Method::Runtime: return std::make_unique<RuntimeAccounting>();
-        case Method::Energy: return std::make_unique<EnergyAccounting>();
-        case Method::Peak: return std::make_unique<PeakAccounting>();
-        case Method::Eba: return std::make_unique<EnergyBasedAccounting>();
-        case Method::Cba: return std::make_unique<CarbonBasedAccounting>();
+        case Method::Runtime: return "Runtime";
+        case Method::Energy: return "Energy";
+        case Method::Peak: return "Peak";
+        case Method::Eba: return "EBA";
+        case Method::Cba: return "CBA";
     }
-    throw ga::util::PreconditionError("make_accountant: unknown method");
+    return "unknown";
+}
+
+std::optional<Method> method_from_string(std::string_view name) noexcept {
+    for (const auto m : all_methods()) {
+        if (to_string(m) == name) return m;
+    }
+    return std::nullopt;
+}
+
+const std::vector<Method>& all_methods() {
+    static const std::vector<Method> methods = {
+        Method::Runtime, Method::Energy, Method::Peak, Method::Eba,
+        Method::Cba};
+    return methods;
+}
+
+AccountantSpec to_spec(Method m) {
+    return AccountantSpec{std::string(to_string(m)), {}};
+}
+
+std::unique_ptr<const Accountant> make_accountant(Method m) {
+    return AccountantRegistry::global().make(to_spec(m));
 }
 
 }  // namespace ga::acct

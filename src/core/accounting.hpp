@@ -1,6 +1,13 @@
-// Impact-based accounting (the paper's core contribution, §3–§4.2).
+// Impact-based accounting (the paper's core contribution, §3–§4.2) as an
+// open accounting API.
 //
-// Five accounting methods price a job's resource usage:
+// An `Accountant` prices a job's resource usage (`JobUsage`) on a catalog
+// machine, in its own currency unit. Accountants are constructed by name
+// through the string-keyed `AccountantRegistry` from a parameterized
+// `AccountantSpec`, so new pricing methods plug in without touching the
+// simulator or platform code — exactly the pattern of the routing-policy
+// registry (`sim/policy.hpp`). The paper's five methods are builtin
+// registry entries:
 //
 //   Runtime — core-time only (Chameleon-style). Ignores heterogeneity.
 //   Energy  — raw energy used. Rewards idling on allocated hardware.
@@ -9,19 +16,37 @@
 //   EBA     — Energy-Based Accounting, Eq. 1:
 //                ê_j = (e_j + β · d_j · TDP_R) / 2
 //             the average of actual energy and full-TDP potential energy
-//             (β = 1 in the paper; the β < 1 refinement is implemented).
+//             (params "beta", default 1 as in the paper, and "pue" — 1
+//             multiplies measured energy by the facility PUE, §3.2).
 //   CBA     — Carbon-Based Accounting, Eq. 2:
 //                c_j = e_j · I_f(t) + d_j · D_f(y)/(24·365)
 //             operational carbon at the facility's grid intensity plus
-//             DDB-depreciated embodied carbon.
+//             depreciated embodied carbon (param "depreciation": 0 =
+//             double-declining balance, the paper's choice; 1 = linear).
+//
+// Two composite builtins go beyond the paper (the titular "core hours AND
+// carbon credits" levers):
+//
+//   Blended   — weighted core-hour + carbon composite,
+//               w_core · core-hours + w_carbon · gCO2e
+//               (params "core_weight", "carbon_weight", "depreciation").
+//   CarbonTax — Runtime plus a per-gCO2e surcharge, in core-hour
+//               equivalents (params "rate" core-hours per gCO2e,
+//               "depreciation").
 //
 // CPU jobs are provisioned by core (green-ACCESS disaggregates node power to
 // cores), so the TDP and embodied terms scale with the job's core count.
 // GPU jobs are provisioned by whole device.
+//
+// The legacy `Method` enum survives as a thin compatibility shim: `to_spec`
+// maps it onto registry specs and `make_accountant` delegates to the
+// registry, bit-identical to the pre-registry charges.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -47,36 +72,98 @@ struct JobUsage {
     double priced_at_s = 0.0;
 };
 
-/// Accounting method identifiers (paper §4.2 naming).
-enum class Method { Runtime, Energy, Peak, Eba, Cba };
-
-[[nodiscard]] std::string_view to_string(Method m) noexcept;
-
-/// Inverse of `to_string`; std::nullopt for an unknown name.
-[[nodiscard]] std::optional<Method> method_from_string(
-    std::string_view name) noexcept;
-
-/// All five methods, in paper order (Runtime, Energy, Peak, EBA, CBA).
-[[nodiscard]] const std::vector<Method>& all_methods();
-
 /// Interface: price one job on one machine. Charges are in method-specific
 /// units (core-hours, joules, SU-like peak units, EBA joules, gCO2e).
+/// Implementations must be immutable after construction: `charge` is const
+/// and may be called concurrently from many sweep threads over the same
+/// instance. All parameters arrive through the `AccountantSpec` at
+/// construction time.
 class Accountant {
 public:
     virtual ~Accountant() = default;
 
     [[nodiscard]] virtual double charge(const JobUsage& usage,
                                         const ga::machine::CatalogEntry& m) const = 0;
-    [[nodiscard]] virtual Method method() const noexcept = 0;
+
+    /// The registry name this instance was built under ("Runtime", "CBA",
+    /// a custom name).
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
     [[nodiscard]] virtual std::string_view unit() const noexcept = 0;
+
+    /// Returns a copy of this accountant bound to per-machine grid-intensity
+    /// traces (machine name -> facility trace), or nullptr when the method
+    /// never reads the grid (the default). The simulator calls this to hand
+    /// scenario grids (e.g. the Fig-7 regional profiles) to carbon-aware
+    /// methods; grid-blind methods are used as built.
+    [[nodiscard]] virtual std::unique_ptr<Accountant> with_grid(
+        const std::map<std::string, ga::carbon::IntensityTrace>& intensity) const {
+        (void)intensity;
+        return nullptr;
+    }
 };
+
+/// A named, parameterized accountant selection — the unit `SimOptions` and
+/// the sweep engine carry. Parameters are string-keyed doubles with
+/// per-method defaults (e.g. {"beta", 0.5} for EBA).
+struct AccountantSpec {
+    std::string name;
+    std::map<std::string, double> params;
+
+    /// Parameter lookup with fallback.
+    [[nodiscard]] double param(std::string_view key, double fallback) const;
+
+    /// "EBA(beta=0.5)" — the name alone when there are no params.
+    /// Deterministic (params print in key order), used in sweep labels.
+    [[nodiscard]] std::string label() const;
+
+    friend bool operator==(const AccountantSpec&, const AccountantSpec&) = default;
+};
+
+/// String-keyed accountant factory registry. `global()` arrives preloaded
+/// with the paper's five methods and the two composite builtins; user code
+/// registers custom methods at startup and runs them by name through
+/// `SimOptions`/`SweepGrid`/`Ledger`. All members are thread-safe — sweeps
+/// resolve specs concurrently.
+class AccountantRegistry {
+public:
+    using Factory =
+        std::function<std::unique_ptr<Accountant>(const AccountantSpec&)>;
+
+    /// Registers a factory; throws PreconditionError on a duplicate name.
+    void register_accountant(std::string name, Factory factory);
+
+    [[nodiscard]] bool contains(std::string_view name) const;
+
+    /// All registered names, sorted.
+    [[nodiscard]] std::vector<std::string> names() const;
+
+    /// Builds the named accountant; throws RuntimeError for an unknown name.
+    [[nodiscard]] std::unique_ptr<const Accountant> make(
+        const AccountantSpec& spec) const;
+
+    /// The process-wide registry, preloaded with the builtins.
+    [[nodiscard]] static AccountantRegistry& global();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, Factory, std::less<>> factories_;
+};
+
+/// The two beyond-paper builtins (Blended, CarbonTax) with default
+/// parameters, in that order.
+[[nodiscard]] const std::vector<AccountantSpec>& beyond_paper_accountants();
+
+// ------------------------------------------------------- builtin methods
 
 /// Runtime accounting: core-hours (GPU jobs: GPU-hours).
 class RuntimeAccounting final : public Accountant {
 public:
     [[nodiscard]] double charge(const JobUsage& usage,
                                 const ga::machine::CatalogEntry& m) const override;
-    [[nodiscard]] Method method() const noexcept override { return Method::Runtime; }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "Runtime";
+    }
     [[nodiscard]] std::string_view unit() const noexcept override {
         return "core-hours";
     }
@@ -87,7 +174,9 @@ class EnergyAccounting final : public Accountant {
 public:
     [[nodiscard]] double charge(const JobUsage& usage,
                                 const ga::machine::CatalogEntry& m) const override;
-    [[nodiscard]] Method method() const noexcept override { return Method::Energy; }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "Energy";
+    }
     [[nodiscard]] std::string_view unit() const noexcept override { return "J"; }
 };
 
@@ -97,7 +186,9 @@ class PeakAccounting final : public Accountant {
 public:
     [[nodiscard]] double charge(const JobUsage& usage,
                                 const ga::machine::CatalogEntry& m) const override;
-    [[nodiscard]] Method method() const noexcept override { return Method::Peak; }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "Peak";
+    }
     [[nodiscard]] std::string_view unit() const noexcept override {
         return "peak-units";
     }
@@ -113,7 +204,9 @@ public:
 
     [[nodiscard]] double charge(const JobUsage& usage,
                                 const ga::machine::CatalogEntry& m) const override;
-    [[nodiscard]] Method method() const noexcept override { return Method::Eba; }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "EBA";
+    }
     [[nodiscard]] std::string_view unit() const noexcept override { return "J-eq"; }
 
     /// The TDP attributed to the job's provisioned share of the machine.
@@ -140,8 +233,16 @@ public:
 
     [[nodiscard]] double charge(const JobUsage& usage,
                                 const ga::machine::CatalogEntry& m) const override;
-    [[nodiscard]] Method method() const noexcept override { return Method::Cba; }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "CBA";
+    }
     [[nodiscard]] std::string_view unit() const noexcept override { return "gCO2e"; }
+
+    /// Rebinds to the scenario's grid traces, preserving the depreciation
+    /// schedule.
+    [[nodiscard]] std::unique_ptr<Accountant> with_grid(
+        const std::map<std::string, ga::carbon::IntensityTrace>& intensity)
+        const override;
 
     /// Operational term only (e_j · I_f(t)).
     [[nodiscard]] double operational_g(const JobUsage& usage,
@@ -163,7 +264,91 @@ private:
     ga::carbon::DepreciationMethod depreciation_;
 };
 
-/// Factory covering the five methods with default parameters.
-[[nodiscard]] std::unique_ptr<Accountant> make_accountant(Method m);
+// --------------------------------------------- beyond-paper composites
+
+/// Weighted core-hour + carbon composite: the allocation is granted in one
+/// blended unit, w_core · core-hours + w_carbon · gCO2e, so a site can put
+/// a single price on both the capacity a job occupies and the carbon it
+/// emits. Weights must be non-negative with a positive sum.
+class BlendedAccounting final : public Accountant {
+public:
+    explicit BlendedAccounting(double core_weight = 1.0,
+                               double carbon_weight = 1.0,
+                               CarbonBasedAccounting carbon = {});
+
+    [[nodiscard]] double charge(const JobUsage& usage,
+                                const ga::machine::CatalogEntry& m) const override;
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "Blended";
+    }
+    [[nodiscard]] std::string_view unit() const noexcept override {
+        return "blend-units";
+    }
+    [[nodiscard]] std::unique_ptr<Accountant> with_grid(
+        const std::map<std::string, ga::carbon::IntensityTrace>& intensity)
+        const override;
+
+    [[nodiscard]] double core_weight() const noexcept { return core_weight_; }
+    [[nodiscard]] double carbon_weight() const noexcept { return carbon_weight_; }
+
+private:
+    double core_weight_;
+    double carbon_weight_;
+    RuntimeAccounting runtime_;
+    CarbonBasedAccounting carbon_;
+};
+
+/// Runtime accounting plus a per-gCO2e surcharge (a carbon tax): the charge
+/// is core-hours + rate · gCO2e, in core-hour equivalents. The decarbonizing
+/// lever of the CEO-DC line of work expressed as a price signal: dirty-grid
+/// or embodied-heavy machines cost visibly more core-hours.
+class CarbonTaxAccounting final : public Accountant {
+public:
+    /// `tax_per_g` converts gCO2e into core-hour equivalents (default 0.01
+    /// core-hours per gram); must be non-negative.
+    explicit CarbonTaxAccounting(double tax_per_g = 0.01,
+                                 CarbonBasedAccounting carbon = {});
+
+    [[nodiscard]] double charge(const JobUsage& usage,
+                                const ga::machine::CatalogEntry& m) const override;
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "CarbonTax";
+    }
+    [[nodiscard]] std::string_view unit() const noexcept override {
+        return "taxed-core-hours";
+    }
+    [[nodiscard]] std::unique_ptr<Accountant> with_grid(
+        const std::map<std::string, ga::carbon::IntensityTrace>& intensity)
+        const override;
+
+    [[nodiscard]] double tax_per_g() const noexcept { return tax_per_g_; }
+
+private:
+    double tax_per_g_;
+    RuntimeAccounting runtime_;
+    CarbonBasedAccounting carbon_;
+};
+
+// ------------------------------------------------------ legacy enum shim
+
+/// Accounting method identifiers (paper §4.2 naming). Compatibility shim
+/// over the registry: `to_spec` maps each value onto its registry spec.
+enum class Method { Runtime, Energy, Peak, Eba, Cba };
+
+[[nodiscard]] std::string_view to_string(Method m) noexcept;
+
+/// Inverse of `to_string`; std::nullopt for an unknown name.
+[[nodiscard]] std::optional<Method> method_from_string(
+    std::string_view name) noexcept;
+
+/// All five methods, in paper order (Runtime, Energy, Peak, EBA, CBA).
+[[nodiscard]] const std::vector<Method>& all_methods();
+
+/// Registry spec for a legacy enum value (default parameters).
+[[nodiscard]] AccountantSpec to_spec(Method m);
+
+/// Factory covering the five methods with default parameters (delegates to
+/// the registry; charges are bit-identical to the pre-registry accountants).
+[[nodiscard]] std::unique_ptr<const Accountant> make_accountant(Method m);
 
 }  // namespace ga::acct

@@ -1,6 +1,7 @@
 #include "core/allocation.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -22,15 +23,64 @@ void Allocation::grant(double extra) {
     budget_ += extra;
 }
 
+void Allocation::refund(double amount) {
+    GA_REQUIRE(amount >= 0.0, "allocation: refund must be non-negative");
+    GA_REQUIRE(amount <= spent_, "allocation: refund exceeds spent amount");
+    spent_ -= amount;
+}
+
+// ------------------------------------------------------------------ Ledger
+
+void Ledger::define_currency(std::string currency,
+                             std::shared_ptr<const Accountant> accountant) {
+    GA_REQUIRE(!currency.empty(), "ledger: currency name must not be empty");
+    GA_REQUIRE(accountant != nullptr, "ledger: currency accountant required");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pricers_.insert_or_assign(std::move(currency), std::move(accountant));
+}
+
+void Ledger::define_currency(std::string currency, const AccountantSpec& spec) {
+    define_currency(std::move(currency),
+                    std::shared_ptr<const Accountant>(
+                        AccountantRegistry::global().make(spec)));
+}
+
+bool Ledger::has_currency(std::string_view currency) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return pricers_.find(currency) != pricers_.end();
+}
+
+std::vector<std::string> Ledger::currencies() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(pricers_.size());
+    for (const auto& [name, pricer] : pricers_) out.push_back(name);
+    return out;
+}
+
 void Ledger::create_account(const std::string& user, double budget) {
+    create_account(user, {{std::string(kDefaultCurrency), budget}});
+}
+
+void Ledger::create_account(const std::string& user,
+                            const std::map<std::string, double>& budgets) {
+    GA_REQUIRE(!budgets.empty(), "ledger: account needs at least one currency");
+    std::map<std::string, Allocation> holdings;
+    for (const auto& [currency, budget] : budgets) {
+        GA_REQUIRE(!currency.empty(), "ledger: currency name must not be empty");
+        holdings.emplace(currency, Allocation(budget));
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (Account* existing = find_account(user)) {
-        existing->allocation = Allocation(budget);
+        existing->holdings = std::move(holdings);
+        existing->first_valid_tx = next_id_;
         return;
     }
-    accounts_.push_back(Account{user, Allocation(budget)});
+    accounts_.push_back(Account{user, std::move(holdings), next_id_});
 }
 
 bool Ledger::has_account(const std::string& user) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return find_account(user) != nullptr;
 }
 
@@ -46,38 +96,269 @@ const Ledger::Account* Ledger::find_account(const std::string& user) const {
     return it == accounts_.end() ? nullptr : &*it;
 }
 
-double Ledger::remaining(const std::string& user) const {
+namespace {
+
+[[noreturn]] void throw_unknown_user(const std::string& user) {
+    throw ga::util::RuntimeError("ledger: unknown user " + user);
+}
+
+}  // namespace
+
+const Allocation& Ledger::sole_holding(const Account& account) {
+    if (account.holdings.size() != 1) {
+        throw ga::util::RuntimeError(
+            "ledger: account '" + account.user +
+            "' holds multiple currencies; name one explicitly");
+    }
+    return account.holdings.begin()->second;
+}
+
+Allocation& Ledger::sole_holding(Account& account) {
+    return const_cast<Allocation&>(
+        sole_holding(static_cast<const Account&>(account)));
+}
+
+const Allocation& Ledger::holding_of(const Account& account,
+                                     std::string_view currency) {
+    const auto it = account.holdings.find(std::string(currency));
+    if (it == account.holdings.end()) {
+        throw ga::util::RuntimeError("ledger: user " + account.user +
+                                     " holds no " + std::string(currency));
+    }
+    return it->second;
+}
+
+Allocation& Ledger::holding_of(Account& account, std::string_view currency) {
+    return const_cast<Allocation&>(
+        holding_of(static_cast<const Account&>(account), currency));
+}
+
+std::vector<std::string> Ledger::account_currencies(
+    const std::string& user) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     const Account* a = find_account(user);
-    if (a == nullptr) throw ga::util::RuntimeError("ledger: unknown user " + user);
-    return a->allocation.remaining();
+    if (a == nullptr) throw_unknown_user(user);
+    std::vector<std::string> out;
+    out.reserve(a->holdings.size());
+    for (const auto& [currency, holding] : a->holdings) out.push_back(currency);
+    return out;
+}
+
+double Ledger::remaining(const std::string& user,
+                         std::string_view currency) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Account* a = find_account(user);
+    if (a == nullptr) throw_unknown_user(user);
+    return holding_of(*a, currency).remaining();
+}
+
+double Ledger::spent(const std::string& user, std::string_view currency) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Account* a = find_account(user);
+    if (a == nullptr) throw_unknown_user(user);
+    return holding_of(*a, currency).spent();
+}
+
+double Ledger::remaining(const std::string& user) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Account* a = find_account(user);
+    if (a == nullptr) throw_unknown_user(user);
+    return sole_holding(*a).remaining();
 }
 
 double Ledger::spent(const std::string& user) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     const Account* a = find_account(user);
-    if (a == nullptr) throw ga::util::RuntimeError("ledger: unknown user " + user);
-    return a->allocation.spent();
+    if (a == nullptr) throw_unknown_user(user);
+    return sole_holding(*a).spent();
 }
 
-double Ledger::charge(const std::string& user, const Accountant& accountant,
-                      const JobUsage& usage, const ga::machine::CatalogEntry& m) {
+void Ledger::grant(const std::string& user, std::string_view currency,
+                   double extra) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     Account* a = find_account(user);
-    if (a == nullptr) throw ga::util::RuntimeError("ledger: unknown user " + user);
-    const double cost = accountant.charge(usage, m);
-    if (!a->allocation.charge(cost)) return -1.0;
+    if (a == nullptr) throw_unknown_user(user);
+    holding_of(*a, currency).grant(extra);
+}
+
+Transaction Ledger::record(const std::string& user, std::string machine,
+                           std::string currency, std::string_view unit,
+                           double cost, const JobUsage& usage) {
     Transaction t;
     t.id = next_id_++;
     t.user = user;
-    t.machine = m.node.name;
-    t.method = accountant.method();
+    t.machine = std::move(machine);
+    t.currency = std::move(currency);
+    t.unit = std::string(unit);
     t.cost = cost;
     t.duration_s = usage.duration_s;
     t.energy_j = usage.energy_j;
     t.priced_at_s = usage.priced_at_s;
-    history_.push_back(std::move(t));
+    t.cores = usage.cores;
+    t.gpus = usage.gpus;
+    return t;
+}
+
+double Ledger::charge(const std::string& user, const Accountant& accountant,
+                      const JobUsage& usage, const ga::machine::CatalogEntry& m) {
+    // Price outside the lock: accountants are immutable and may be slow.
+    const double cost = accountant.charge(usage, m);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Account* a = find_account(user);
+    if (a == nullptr) throw_unknown_user(user);
+    auto& holding = sole_holding(*a);
+    if (!holding.charge(cost)) return -1.0;
+    history_.push_back(record(user, m.node.name,
+                              a->holdings.begin()->first, accountant.unit(),
+                              cost, usage));
     return cost;
 }
 
+ChargeOutcome Ledger::charge(const std::string& user, const JobUsage& usage,
+                             const ga::machine::CatalogEntry& m) {
+    // Snapshot the pricers for the user's holdings, price outside the lock
+    // (user accountants may be slow), then re-lock for the atomic
+    // all-or-nothing admission and debit. If a concurrent create_account or
+    // define_currency changed the holding set or a pricer between the two
+    // locks, the quote is stale — re-snapshot and re-price rather than
+    // admit a job priced against a replaced configuration. The retry cap
+    // turns a pathological reconfiguration storm into an error instead of
+    // a livelock.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        ChargeOutcome outcome;
+        std::vector<std::pair<std::string, std::shared_ptr<const Accountant>>>
+            pricers;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            const Account* a = find_account(user);
+            if (a == nullptr) throw_unknown_user(user);
+            pricers.reserve(a->holdings.size());
+            for (const auto& [currency, holding] : a->holdings) {
+                const auto it = pricers_.find(currency);
+                if (it == pricers_.end()) {
+                    throw ga::util::RuntimeError(
+                        "ledger: currency '" + currency +
+                        "' has no accountant; call define_currency first");
+                }
+                pricers.emplace_back(currency, it->second);
+            }
+        }
+        for (const auto& [currency, pricer] : pricers) {
+            outcome.costs.emplace(currency, pricer->charge(usage, m));
+        }
+        // Reject negative quotes before touching any holding: a custom
+        // accountant pricing one leg negative would otherwise debit the
+        // earlier currencies and then throw mid-debit, breaking the
+        // all-or-nothing contract.
+        for (const auto& [currency, cost] : outcome.costs) {
+            GA_REQUIRE(cost >= 0.0, "ledger: accountant for '" + currency +
+                                        "' quoted a negative cost");
+        }
+
+        const std::lock_guard<std::mutex> lock(mutex_);
+        Account* a = find_account(user);
+        if (a == nullptr) throw_unknown_user(user);
+        if (a->holdings.size() != pricers.size()) continue;  // set changed
+        bool stale = false;
+        for (const auto& [currency, pricer] : pricers) {
+            if (a->holdings.find(currency) == a->holdings.end()) {
+                stale = true;  // holding added/removed since the quote
+                break;
+            }
+            const auto pit = pricers_.find(currency);
+            if (pit == pricers_.end() || pit->second != pricer) {
+                stale = true;  // currency re-defined: the quote is stale
+                break;
+            }
+        }
+        if (stale) continue;
+        for (const auto& [currency, pricer] : pricers) {
+            if (!a->holdings.at(currency).can_afford(
+                    outcome.costs.at(currency))) {
+                outcome.refused_currency = currency;
+                return outcome;  // all-or-nothing: nothing was debited
+            }
+        }
+        for (const auto& [currency, pricer] : pricers) {
+            const double cost = outcome.costs.at(currency);
+            const bool ok = a->holdings.at(currency).charge(cost);
+            GA_REQUIRE(ok,
+                       "ledger: affordability check raced a concurrent debit");
+            history_.push_back(record(user, m.node.name, currency,
+                                      pricer->unit(), cost, usage));
+        }
+        outcome.admitted = true;
+        return outcome;
+    }
+    throw ga::util::RuntimeError(
+        "ledger: charge for " + user +
+        " kept racing account/currency reconfiguration");
+}
+
+std::uint64_t Ledger::refund(const std::string& user,
+                             std::uint64_t transaction_id) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Account* a = find_account(user);
+    if (a == nullptr) throw_unknown_user(user);
+    // history_ is append-only with strictly increasing ids, so the original
+    // is found in O(log n); the refunded_ set makes the double-refund check
+    // O(1) — a refund never scans the (unboundedly growing) audit trail.
+    const auto it = std::lower_bound(
+        history_.begin(), history_.end(), transaction_id,
+        [](const Transaction& t, std::uint64_t id) { return t.id < id; });
+    if (it == history_.end() || it->id != transaction_id ||
+        it->user != user) {
+        throw ga::util::RuntimeError("ledger: no transaction " +
+                                     std::to_string(transaction_id) +
+                                     " for user " + user);
+    }
+    if (transaction_id < a->first_valid_tx) {
+        // The account was replaced since this charge: crediting the fresh
+        // allocation for spend it never made would mint budget.
+        throw ga::util::RuntimeError("ledger: transaction " +
+                                     std::to_string(transaction_id) +
+                                     " predates the current account of " +
+                                     user);
+    }
+    // Identify refunds by their back-pointer, not by cost sign: a refunded
+    // zero-cost charge produces a -0.0 refund record that a sign test would
+    // happily refund again, chaining forever.
+    if (it->refund_of != 0) {
+        throw ga::util::RuntimeError("ledger: cannot refund a refund");
+    }
+    if (refunded_.find(transaction_id) != refunded_.end()) {
+        throw ga::util::RuntimeError("ledger: transaction " +
+                                     std::to_string(transaction_id) +
+                                     " already refunded");
+    }
+    holding_of(*a, it->currency).refund(it->cost);
+    refunded_.insert(transaction_id);
+
+    Transaction t = *it;  // mirror the original's audit fields
+    t.id = next_id_++;
+    t.cost = -t.cost;
+    t.refund_of = transaction_id;
+    history_.push_back(std::move(t));
+    return history_.back().id;
+}
+
+std::vector<Transaction> Ledger::history() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return history_;
+}
+
+double Ledger::total_cost(const std::string& user,
+                          std::string_view currency) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    double total = 0.0;
+    for (const auto& t : history_) {
+        if (t.user == user && t.currency == currency) total += t.cost;
+    }
+    return total;
+}
+
 double Ledger::total_cost(const std::string& user) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     double total = 0.0;
     for (const auto& t : history_) {
         if (t.user == user) total += t.cost;

@@ -1,29 +1,50 @@
-// Fungible allocations and the accounting ledger (paper §3.1).
+// Fungible allocations and the multi-currency accounting ledger (§3.1).
 //
-// An Allocation is a budget in the units of one accounting method (e.g.
-// 10 kgCO2e under CBA, or N core-hours under Runtime) that can be redeemed
-// on any machine the accountant can price. The Ledger tracks per-user
-// allocations and the transaction history the green-ACCESS frontend shows.
+// An Allocation is a budget in one currency — the unit of one accounting
+// method (e.g. gCO2e under CBA, core-hours under Runtime) — redeemable on
+// any machine the currency's accountant can price. An account holds a set
+// of *named* allocations, so one user can hold core-hours AND carbon
+// credits simultaneously (the paper's titular dual-budget incentive): a
+// multi-currency charge prices the job under every currency the account
+// holds and admits it only when all of them can pay.
+//
+// The Ledger tracks per-user accounts and the transaction history the
+// green-ACCESS frontend shows; every mutation and accessor takes an
+// internal lock, so one shared Ledger is sound under concurrent charges
+// (e.g. from the scenario-sweep thread pool).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "core/accounting.hpp"
 
 namespace ga::acct {
 
-/// One spend record.
+/// One spend (or refund) record. Self-describing for audit: the currency
+/// debited, the accountant's unit, and the provisioned resources all ride
+/// along with the price.
 struct Transaction {
     std::uint64_t id = 0;
     std::string user;
     std::string machine;
-    Method method = Method::Runtime;
-    double cost = 0.0;
+    std::string currency;  ///< account holding debited (credited for refunds)
+    std::string unit;      ///< pricing accountant's unit string
+    double cost = 0.0;     ///< negative for refunds
     double duration_s = 0.0;
     double energy_j = 0.0;
     double priced_at_s = 0.0;
+    int cores = 0;
+    int gpus = 0;
+    /// For refund records: the id of the transaction being reversed
+    /// (0 for ordinary charges).
+    std::uint64_t refund_of = 0;
 };
 
 /// A single budget with overdraft protection.
@@ -46,47 +67,153 @@ public:
     /// Adds budget (e.g. a supplement award).
     void grant(double extra);
 
+    /// Returns `amount` of previously charged spend (an outage refund, a
+    /// disputed bill). The amount must not exceed what was spent.
+    void refund(double amount);
+
 private:
     double budget_;
     double spent_ = 0.0;
 };
 
-/// Per-user allocations plus an audit trail.
+/// Result of a multi-currency charge: the per-currency prices, and — when
+/// one currency could not pay — which one blocked admission.
+struct ChargeOutcome {
+    bool admitted = false;
+    std::string refused_currency;        ///< first currency that could not pay
+    std::map<std::string, double> costs; ///< per-currency price (always filled)
+};
+
+/// Per-user multi-currency accounts plus an audit trail. Thread-safe: all
+/// members lock internally, and concurrent charges against one account sum
+/// exactly (each admission check and debit is atomic).
 class Ledger {
 public:
-    /// Creates an account; replaces any existing allocation for the user.
+    /// Currency name used by the single-budget `create_account` overload.
+    static constexpr std::string_view kDefaultCurrency = "credits";
+
+    // ---- currency definitions -------------------------------------------
+    /// Binds a currency name to the accountant that prices it; required
+    /// before multi-currency charges in that currency. Redefining replaces
+    /// the accountant.
+    void define_currency(std::string currency,
+                         std::shared_ptr<const Accountant> accountant);
+
+    /// Convenience: builds the accountant from the registry.
+    void define_currency(std::string currency, const AccountantSpec& spec);
+
+    [[nodiscard]] bool has_currency(std::string_view currency) const;
+
+    /// All defined currency names, sorted.
+    [[nodiscard]] std::vector<std::string> currencies() const;
+
+    // ---- accounts -------------------------------------------------------
+    /// Creates a single-currency account under `kDefaultCurrency`;
+    /// replaces any existing account for the user.
     void create_account(const std::string& user, double budget);
+
+    /// Creates an account holding one allocation per entry (e.g.
+    /// {{"core-hours", 5e4}, {"gCO2e", 1e4}}); replaces any existing
+    /// account. Budgets must be positive and the map non-empty.
+    void create_account(const std::string& user,
+                        const std::map<std::string, double>& budgets);
 
     [[nodiscard]] bool has_account(const std::string& user) const;
 
-    /// Remaining budget; throws RuntimeError for unknown users.
+    /// Currencies the user's account holds, sorted. Throws RuntimeError for
+    /// unknown users.
+    [[nodiscard]] std::vector<std::string> account_currencies(
+        const std::string& user) const;
+
+    /// Remaining budget in one currency; throws RuntimeError for unknown
+    /// users or a currency the account does not hold.
+    [[nodiscard]] double remaining(const std::string& user,
+                                   std::string_view currency) const;
+    [[nodiscard]] double spent(const std::string& user,
+                               std::string_view currency) const;
+
+    /// Single-holding convenience: the account's sole allocation. Throws
+    /// RuntimeError for unknown users and for multi-currency accounts
+    /// (name the currency explicitly there).
     [[nodiscard]] double remaining(const std::string& user) const;
     [[nodiscard]] double spent(const std::string& user) const;
 
-    /// Prices the job with `accountant` on `m` and charges the user's
-    /// allocation. Returns the cost on success; returns -1.0 when the user
-    /// cannot afford it (nothing is charged). Throws for unknown users.
+    /// Supplements one holding; throws for unknown user/currency.
+    void grant(const std::string& user, std::string_view currency,
+               double extra);
+
+    // ---- charging -------------------------------------------------------
+    /// Single-accountant charge against the account's sole holding (the
+    /// pre-multi-currency API). Prices the job with `accountant` on `m` and
+    /// debits the allocation. Returns the cost on success; returns -1.0
+    /// when the user cannot afford it (nothing is charged). Throws for
+    /// unknown users and for multi-currency accounts.
     double charge(const std::string& user, const Accountant& accountant,
                   const JobUsage& usage, const ga::machine::CatalogEntry& m);
 
-    [[nodiscard]] const std::vector<Transaction>& history() const noexcept {
-        return history_;
-    }
+    /// Multi-currency charge: prices `usage` under *every* currency the
+    /// account holds (each must be defined via `define_currency`) and
+    /// admits only if all can pay — the dual-budget incentive. On admission
+    /// every holding is debited and one transaction per currency is
+    /// recorded; on refusal nothing is charged and `refused_currency` names
+    /// the first holding (in sorted currency order) that could not pay.
+    /// Throws for unknown users and undefined held currencies.
+    ChargeOutcome charge(const std::string& user, const JobUsage& usage,
+                         const ga::machine::CatalogEntry& m);
 
-    /// Sum of recorded costs for one user.
+    /// Reverses transaction `transaction_id`: returns its cost to the
+    /// currency it was debited from and records a negative-cost transaction
+    /// (with `refund_of` set) in the history. Returns the refund
+    /// transaction's id. Throws RuntimeError for unknown users, unknown or
+    /// foreign transaction ids, refunds of refunds, and double refunds.
+    std::uint64_t refund(const std::string& user, std::uint64_t transaction_id);
+
+    /// Snapshot of the audit trail (copy — safe under concurrent charges).
+    [[nodiscard]] std::vector<Transaction> history() const;
+
+    /// Net recorded cost for one user in one currency (refunds subtract).
+    [[nodiscard]] double total_cost(const std::string& user,
+                                    std::string_view currency) const;
+
+    /// Net recorded cost for one user across all currencies. Meaningful for
+    /// single-currency accounts; multi-currency sums are unit-mixed.
     [[nodiscard]] double total_cost(const std::string& user) const;
 
 private:
     struct Account {
         std::string user;
-        Allocation allocation;
+        std::map<std::string, Allocation> holdings;  // currency -> budget
+        /// First transaction id issued after this account (re)creation.
+        /// Transactions below the watermark belong to a replaced account
+        /// and are not refundable against the fresh allocations.
+        std::uint64_t first_valid_tx = 1;
     };
 
     [[nodiscard]] Account* find_account(const std::string& user);
     [[nodiscard]] const Account* find_account(const std::string& user) const;
 
+    /// The sole holding of a single-currency account (locked callers only);
+    /// throws RuntimeError for multi-currency accounts.
+    [[nodiscard]] static const Allocation& sole_holding(const Account& account);
+    [[nodiscard]] static Allocation& sole_holding(Account& account);
+
+    /// The account's holding in one currency (locked callers only); throws
+    /// RuntimeError when the account does not hold it.
+    [[nodiscard]] static const Allocation& holding_of(const Account& account,
+                                                      std::string_view currency);
+    [[nodiscard]] static Allocation& holding_of(Account& account,
+                                                std::string_view currency);
+
+    Transaction record(const std::string& user, std::string machine,
+                       std::string currency, std::string_view unit,
+                       double cost, const JobUsage& usage);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const Accountant>, std::less<>>
+        pricers_;
     std::vector<Account> accounts_;
-    std::vector<Transaction> history_;
+    std::vector<Transaction> history_;  // append-only, ids strictly increasing
+    std::unordered_set<std::uint64_t> refunded_;  // O(1) double-refund check
     std::uint64_t next_id_ = 1;
 };
 

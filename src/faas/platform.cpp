@@ -6,13 +6,17 @@
 
 namespace ga::faas {
 
-GreenAccess::GreenAccess(std::unique_ptr<ga::acct::Accountant> accountant)
+GreenAccess::GreenAccess(std::unique_ptr<const ga::acct::Accountant> accountant)
     : accountant_(std::move(accountant)), monitor_(&broker_) {
     GA_REQUIRE(accountant_ != nullptr, "platform: accountant required");
 }
 
 GreenAccess GreenAccess::with_method(ga::acct::Method method) {
     return GreenAccess(ga::acct::make_accountant(method));
+}
+
+GreenAccess GreenAccess::with_accountant(const ga::acct::AccountantSpec& spec) {
+    return GreenAccess(ga::acct::AccountantRegistry::global().make(spec));
 }
 
 void GreenAccess::register_endpoint(const ga::machine::CatalogEntry& entry) {

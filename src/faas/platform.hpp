@@ -33,10 +33,13 @@ struct InvocationResult {
 class GreenAccess {
 public:
     /// Creates the platform with one accounting method for all charges.
-    explicit GreenAccess(std::unique_ptr<ga::acct::Accountant> accountant);
+    explicit GreenAccess(std::unique_ptr<const ga::acct::Accountant> accountant);
 
-    /// Convenience with a default method.
+    /// Convenience with a default method (enum shim over the registry).
     static GreenAccess with_method(ga::acct::Method method);
+
+    /// Convenience building any registry accountant by spec.
+    static GreenAccess with_accountant(const ga::acct::AccountantSpec& spec);
 
     /// Registers a machine (deploys an endpoint for it).
     void register_endpoint(const ga::machine::CatalogEntry& entry);
@@ -71,7 +74,7 @@ public:
     [[nodiscard]] std::vector<std::string> endpoint_names() const;
 
 private:
-    std::unique_ptr<ga::acct::Accountant> accountant_;
+    std::unique_ptr<const ga::acct::Accountant> accountant_;
     Broker broker_;
     EndpointMonitor monitor_;
     std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;

@@ -1,11 +1,11 @@
 #include "sim/policy.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <type_traits>
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/spec.hpp"
 
 namespace ga::sim {
 
@@ -277,23 +277,11 @@ void register_builtins(PolicyRegistry& r) {
 // ------------------------------------------------------------ PolicySpec
 
 double PolicySpec::param(std::string_view key, double fallback) const {
-    const auto it = params.find(std::string(key));
-    return it == params.end() ? fallback : it->second;
+    return ga::util::spec_param(params, key, fallback);
 }
 
 std::string PolicySpec::label() const {
-    if (params.empty()) return name;
-    std::string out = name + "(";
-    bool first = true;
-    for (const auto& [key, value] : params) {
-        if (!first) out += ",";
-        first = false;
-        char buf[64];
-        std::snprintf(buf, sizeof(buf), "%s=%.6g", key.c_str(), value);
-        out += buf;
-    }
-    out += ")";
-    return out;
+    return ga::util::spec_label(name, params);
 }
 
 // -------------------------------------------------------- PolicyRegistry

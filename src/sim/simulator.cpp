@@ -152,6 +152,12 @@ struct RunState {
     std::vector<std::size_t> jobs_per_cluster;  // index-counted, named later
     std::vector<double> start_time;  // actual start, for CBA's Eq. 2 term
     std::vector<double> charged;     // submit-time charge, for outage refunds
+    // Multi-currency state, empty unless currency_budgets was set:
+    // remaining/spent per currency, and per-(job, currency) submit-time
+    // quotes (indexed [job * n_currencies + k]) for outage refunds.
+    std::vector<double> currency_remaining;
+    std::vector<double> currency_spent;
+    std::vector<double> currency_charged;
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
     double budget_remaining = std::numeric_limits<double>::infinity();
     SimResult result;
@@ -177,11 +183,46 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
     // CBA with the scenario's grids; also used to decompose carbon totals
     // for Table 6 regardless of the pricing method.
     const ga::acct::CarbonBasedAccounting cba(traces);
-    const ga::acct::EnergyBasedAccounting eba;
-    const ga::acct::Accountant& pricer =
-        options.pricing == ga::acct::Method::Cba
-            ? static_cast<const ga::acct::Accountant&>(cba)
-            : static_cast<const ga::acct::Accountant&>(eba);
+
+    // Resolve the pricing accountant: an explicit registry spec when given,
+    // else the legacy enum mapped through the compatibility shim. Carbon-
+    // aware methods are rebound to the scenario's grid traces (`with_grid`),
+    // so spec-driven CBA prices exactly like the pre-registry path.
+    const ga::acct::AccountantSpec pricing_spec =
+        options.accountant_spec.has_value() ? *options.accountant_spec
+                                            : ga::acct::to_spec(options.pricing);
+    std::unique_ptr<const ga::acct::Accountant> pricer_owned =
+        ga::acct::AccountantRegistry::global().make(pricing_spec);
+    if (!traces.empty()) {
+        if (auto bound = pricer_owned->with_grid(traces)) {
+            pricer_owned = std::move(bound);
+        }
+    }
+    const ga::acct::Accountant& pricer = *pricer_owned;
+
+    // Multi-currency admission accountants, index-aligned with
+    // options.currency_budgets.
+    const std::size_t n_currencies = options.currency_budgets.size();
+    std::vector<std::unique_ptr<const ga::acct::Accountant>> currency_pricers;
+    currency_pricers.reserve(n_currencies);
+    for (const auto& cb : options.currency_budgets) {
+        GA_REQUIRE(!cb.currency.empty(),
+                   "simulator: currency name must not be empty");
+        GA_REQUIRE(cb.budget >= 0.0,
+                   "simulator: currency budget must be non-negative");
+        auto acct = ga::acct::AccountantRegistry::global().make(cb.accountant);
+        if (!traces.empty()) {
+            if (auto bound = acct->with_grid(traces)) acct = std::move(bound);
+        }
+        currency_pricers.push_back(std::move(acct));
+    }
+    for (std::size_t a = 0; a < n_currencies; ++a) {
+        for (std::size_t b = a + 1; b < n_currencies; ++b) {
+            GA_REQUIRE(options.currency_budgets[a].currency !=
+                           options.currency_budgets[b].currency,
+                       "simulator: duplicate currency name");
+        }
+    }
 
     // Resolve the routing strategy: an explicit registry spec when given,
     // else the legacy enum mapped through the compatibility shim.
@@ -220,6 +261,17 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
     rs.start_time.assign(jobs.size(), 0.0);
     rs.charged.assign(jobs.size(), 0.0);
     if (options.budget > 0.0) rs.budget_remaining = options.budget;
+    if (n_currencies > 0) {
+        rs.currency_remaining.resize(n_currencies);
+        for (std::size_t k = 0; k < n_currencies; ++k) {
+            rs.currency_remaining[k] =
+                options.currency_budgets[k].budget > 0.0
+                    ? options.currency_budgets[k].budget
+                    : std::numeric_limits<double>::infinity();
+        }
+        rs.currency_spent.assign(n_currencies, 0.0);
+        rs.currency_charged.assign(jobs.size() * n_currencies, 0.0);
+    }
 
     SimResult& result = rs.result;
     result.finish_times_s.reserve(jobs.size());
@@ -233,7 +285,11 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
     SchedulingContext ctx;
     ctx.budget_total = options.budget;
     ctx.jobs_total = jobs.size();
-    ctx.pricing = options.pricing;
+    // Context pricing: keep the enum view coherent when a registry spec
+    // names one of the five shim methods; custom names keep the option's
+    // enum value (policies needing more should read their own params).
+    ctx.pricing = ga::acct::method_from_string(pricing_spec.name)
+                      .value_or(options.pricing);
     ctx.clusters = views;
 
     for (const auto& job : jobs) {
@@ -353,6 +409,12 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
                         pred_runtime_[j * n_clusters + c];
                     rs.budget_remaining += rs.charged[j];
                     result.total_cost -= rs.charged[j];
+                    for (std::size_t k = 0; k < n_currencies; ++k) {
+                        rs.currency_remaining[k] +=
+                            rs.currency_charged[j * n_currencies + k];
+                        rs.currency_spent[k] -=
+                            rs.currency_charged[j * n_currencies + k];
+                    }
                     ++result.jobs_skipped;
                     it = cs.queue.erase(it);
                 } else {
@@ -406,6 +468,33 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
             ++result.jobs_skipped;
             continue;
         }
+        // Dual-budget admission: quote the job under every currency at the
+        // submit time and admit only if all can pay (all-or-nothing, the
+        // paper's dual-budget incentive); then debit every currency.
+        if (n_currencies > 0) {
+            const auto usage = job_usage(j, c, now);
+            bool affordable = true;
+            for (std::size_t k = 0; k < n_currencies; ++k) {
+                rs.currency_charged[j * n_currencies + k] =
+                    currency_pricers[k]->charge(usage, clusters_[c].entry);
+                if (rs.currency_charged[j * n_currencies + k] >
+                    rs.currency_remaining[k]) {
+                    affordable = false;
+                }
+            }
+            if (!affordable) {
+                for (std::size_t k = 0; k < n_currencies; ++k) {
+                    rs.currency_charged[j * n_currencies + k] = 0.0;
+                }
+                ++result.jobs_skipped;
+                continue;
+            }
+            for (std::size_t k = 0; k < n_currencies; ++k) {
+                rs.currency_remaining[k] -=
+                    rs.currency_charged[j * n_currencies + k];
+                rs.currency_spent[k] += rs.currency_charged[j * n_currencies + k];
+            }
+        }
         rs.budget_remaining -= choices[c].cost;
         result.total_cost += choices[c].cost;
         rs.charged[j] = choices[c].cost;
@@ -423,6 +512,10 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
     for (std::size_t c = 0; c < n_clusters; ++c) {
         result.jobs_per_machine[clusters_[c].entry.node.name] +=
             rs.jobs_per_cluster[c];
+    }
+    for (std::size_t k = 0; k < n_currencies; ++k) {
+        result.currency_spent[options.currency_budgets[k].currency] =
+            rs.currency_spent[k];
     }
     std::sort(result.finish_times_s.begin(), result.finish_times_s.end());
     return std::move(rs.result);

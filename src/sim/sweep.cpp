@@ -24,14 +24,21 @@ struct PolicyPoint {
     std::string label;
 };
 
+/// One point of the combined pricing axis, same shape as PolicyPoint.
+struct PricingPoint {
+    ga::acct::Method enum_method = ga::acct::Method::Eba;
+    std::optional<ga::acct::AccountantSpec> spec;
+    std::string label;
+};
+
 /// Label for one grid point: policy and pricing always, other axes only
 /// when the grid actually sweeps them (explicitly-set axis).
-std::string make_label(const std::string& policy_label, const SimOptions& o,
+std::string make_label(const std::string& policy_label,
+                       const std::string& pricing_label, const SimOptions& o,
                        bool with_budget, bool with_threshold,
                        bool with_regional, bool with_seed,
                        bool with_compression, bool with_outage) {
-    std::string label =
-        policy_label + "/" + std::string(ga::acct::to_string(o.pricing));
+    std::string label = policy_label + "/" + pricing_label;
     if (with_budget) {
         label += o.budget > 0.0 ? "/budget=" + format_number(o.budget)
                                 : "/unbudgeted";
@@ -70,7 +77,8 @@ std::vector<T> axis_or(const std::vector<T>& axis, T fallback) {
 
 std::size_t SweepGrid::size() const noexcept {
     const auto dim = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
-    return dim(policies.size() + policy_specs.size()) * dim(pricings.size()) *
+    return dim(policies.size() + policy_specs.size()) *
+           dim(pricings.size() + accountant_specs.size()) *
            dim(budgets.size()) * dim(mixed_thresholds.size()) *
            dim(regional_grids.size()) * dim(grid_seeds.size()) *
            dim(arrival_compressions.size()) * dim(outages.size());
@@ -94,7 +102,21 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                                  std::string(to_string(defaults.policy))});
     }
 
-    const auto ms = axis_or(pricings, defaults.pricing);
+    // Combined pricing axis: enum entries first, registry specs after.
+    std::vector<PricingPoint> ms;
+    ms.reserve(pricings.size() + accountant_specs.size());
+    for (const auto method : pricings) {
+        ms.push_back(PricingPoint{method, std::nullopt,
+                                  std::string(ga::acct::to_string(method))});
+    }
+    for (const auto& spec : accountant_specs) {
+        ms.push_back(PricingPoint{defaults.pricing, spec, spec.label()});
+    }
+    if (ms.empty()) {
+        ms.push_back(PricingPoint{defaults.pricing, std::nullopt,
+                                  std::string(ga::acct::to_string(defaults.pricing))});
+    }
+
     const auto bs = axis_or(budgets, defaults.budget);
     const auto ts = axis_or(mixed_thresholds, defaults.mixed_threshold);
     const auto rs = axis_or(regional_grids, defaults.regional_grids);
@@ -105,7 +127,7 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
     std::vector<ScenarioSpec> specs;
     specs.reserve(size());
     for (const auto& policy : ps)
-        for (const auto pricing : ms)
+        for (const auto& pricing : ms)
             for (const auto budget : bs)
                 for (const auto threshold : ts)
                     for (const bool regional : rs)
@@ -134,7 +156,8 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                                             .insert_or_assign("threshold",
                                                               threshold);
                                     }
-                                    spec.options.pricing = pricing;
+                                    spec.options.pricing = pricing.enum_method;
+                                    spec.options.accountant_spec = pricing.spec;
                                     spec.options.budget = budget;
                                     spec.options.mixed_threshold = threshold;
                                     spec.options.regional_grids = regional;
@@ -151,8 +174,8 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                                             ? spec.options.policy_spec->label()
                                             : policy.label;
                                     spec.label = make_label(
-                                        policy_label, spec.options,
-                                        !budgets.empty(),
+                                        policy_label, pricing.label,
+                                        spec.options, !budgets.empty(),
                                         !mixed_thresholds.empty(),
                                         !regional_grids.empty(),
                                         !grid_seeds.empty(),

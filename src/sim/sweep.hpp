@@ -44,6 +44,12 @@ struct SweepGrid {
     /// user-registered ones) in one expansion.
     std::vector<PolicySpec> policy_specs;
     std::vector<ga::acct::Method> pricings;
+    /// Registry accountants swept alongside the enum pricing axis: the
+    /// combined pricing dimension is `pricings` (in order) followed by
+    /// `accountant_specs`, so a grid can compare the paper's methods and
+    /// parameterized or user-registered ones (e.g. {"CarbonTax",
+    /// {{"rate", 0.02}}}) in one expansion.
+    std::vector<ga::acct::AccountantSpec> accountant_specs;
     std::vector<double> budgets;  ///< 0 = unlimited
     /// Mixed-policy speedup thresholds. Swept values also reach "Mixed"
     /// registry specs as their "threshold" param, overriding a value

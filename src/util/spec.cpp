@@ -1,0 +1,29 @@
+#include "util/spec.hpp"
+
+#include <cstdio>
+
+namespace ga::util {
+
+double spec_param(const std::map<std::string, double>& params,
+                  std::string_view key, double fallback) {
+    const auto it = params.find(std::string(key));
+    return it == params.end() ? fallback : it->second;
+}
+
+std::string spec_label(const std::string& name,
+                       const std::map<std::string, double>& params) {
+    if (params.empty()) return name;
+    std::string out = name + "(";
+    bool first = true;
+    for (const auto& [key, value] : params) {
+        if (!first) out += ",";
+        first = false;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s=%.6g", key.c_str(), value);
+        out += buf;
+    }
+    out += ")";
+    return out;
+}
+
+}  // namespace ga::util

@@ -1,0 +1,23 @@
+// Shared helpers for {name, string-keyed double params} registry specs
+// (ga::sim::PolicySpec, ga::acct::AccountantSpec): parameter lookup with a
+// fallback and the deterministic "Name(key=value,...)" sweep label. One
+// implementation keeps policy and accountant labels formatted identically
+// in mixed sweep output.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ga::util {
+
+/// Value of `key` in `params`, or `fallback` when absent.
+[[nodiscard]] double spec_param(const std::map<std::string, double>& params,
+                                std::string_view key, double fallback);
+
+/// "Name(key=value,...)" with params in key order — the name alone when
+/// there are none. Deterministic, used in sweep labels.
+[[nodiscard]] std::string spec_label(
+    const std::string& name, const std::map<std::string, double>& params);
+
+}  // namespace ga::util

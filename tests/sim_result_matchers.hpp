@@ -23,6 +23,7 @@ inline void expect_identical(const ga::sim::SimResult& a,
     EXPECT_EQ(a.makespan_s, b.makespan_s);
     EXPECT_EQ(a.finish_times_s, b.finish_times_s);
     EXPECT_EQ(a.jobs_per_machine, b.jobs_per_machine);
+    EXPECT_EQ(a.currency_spent, b.currency_spent);
 }
 
 }  // namespace ga::testutil

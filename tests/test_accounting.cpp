@@ -139,7 +139,7 @@ TEST(Methods, FactoryCoversAll) {
     for (const auto m : ac::all_methods()) {
         const auto acct = ac::make_accountant(m);
         ASSERT_NE(acct, nullptr);
-        EXPECT_EQ(acct->method(), m);
+        EXPECT_EQ(acct->name(), ac::to_string(m));
         EXPECT_FALSE(std::string(acct->unit()).empty());
         EXPECT_FALSE(std::string(ac::to_string(m)).empty());
     }

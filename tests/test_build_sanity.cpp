@@ -26,9 +26,11 @@ TEST(BuildSanity, AccountantsConstructibleForEveryMethod) {
     using ga::acct::Method;
     for (Method m : {Method::Runtime, Method::Energy, Method::Peak,
                      Method::Eba, Method::Cba}) {
-        std::unique_ptr<ga::acct::Accountant> a = ga::acct::make_accountant(m);
+        std::unique_ptr<const ga::acct::Accountant> a =
+            ga::acct::make_accountant(m);
         ASSERT_NE(a, nullptr);
-        EXPECT_EQ(a->method(), m);
+        EXPECT_EQ(a->name(), ga::acct::to_string(m));
+        EXPECT_TRUE(ga::acct::AccountantRegistry::global().contains(a->name()));
         EXPECT_FALSE(ga::acct::to_string(m).empty());
     }
 }

@@ -128,6 +128,30 @@ TEST(SweepGrid, PolicySpecsExtendThePolicyAxis) {
     EXPECT_EQ(specs[3].label, "Mixed(threshold=1.5)/EBA/budget=100");
 }
 
+TEST(SweepGrid, AccountantSpecsExtendThePricingAxis) {
+    sm::SweepGrid grid;
+    grid.policies = {sm::Policy::Greedy};
+    grid.pricings = {ga::acct::Method::Eba, ga::acct::Method::Cba};
+    grid.accountant_specs = {
+        ga::acct::AccountantSpec{"Blended", {}},
+        ga::acct::AccountantSpec{"EBA", {{"beta", 0.5}}}};
+    EXPECT_EQ(grid.size(), 4u);
+    const auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 4u);
+    // Enum entries first (no spec set), registry specs after.
+    EXPECT_FALSE(specs[0].options.accountant_spec.has_value());
+    EXPECT_EQ(specs[0].options.pricing, ga::acct::Method::Eba);
+    EXPECT_FALSE(specs[1].options.accountant_spec.has_value());
+    EXPECT_EQ(specs[1].options.pricing, ga::acct::Method::Cba);
+    ASSERT_TRUE(specs[2].options.accountant_spec.has_value());
+    EXPECT_EQ(specs[2].options.accountant_spec->name, "Blended");
+    ASSERT_TRUE(specs[3].options.accountant_spec.has_value());
+    EXPECT_DOUBLE_EQ(specs[3].options.accountant_spec->param("beta", 1.0), 0.5);
+    EXPECT_EQ(specs[0].label, "Greedy/EBA");
+    EXPECT_EQ(specs[2].label, "Greedy/Blended");
+    EXPECT_EQ(specs[3].label, "Greedy/EBA(beta=0.5)");
+}
+
 TEST(SweepGrid, SweptThresholdAxisOverridesSpecParamSoLabelsAreTruthful) {
     // The "/mixed=X" label must always name the threshold that ran: a swept
     // axis overrides a threshold pinned in the spec, exactly as it
