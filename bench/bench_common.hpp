@@ -14,14 +14,28 @@ inline void banner(const std::string& title) {
     std::printf("\n================ %s ================\n", title.c_str());
 }
 
-/// True when the driver was invoked with `--smoke`: run a tiny scenario so
-/// CI can exercise every bench driver end-to-end (bit-rot check) without
-/// paying for the paper-scale workloads.
-inline bool smoke_mode(int argc, char** argv) {
+/// The CLI arguments shared by every bench driver, parsed once by
+/// `parse_bench_args` instead of per-driver flag scans.
+struct BenchArgs {
+    /// `--smoke`: run a tiny scenario so CI can exercise every bench driver
+    /// end-to-end (bit-rot check) without paying for the paper-scale
+    /// workloads. Sub-second drivers accept and ignore it so CI can invoke
+    /// every driver uniformly.
+    bool smoke = false;
+
+    /// Workload scale for the §5 simulation drivers: full paper scale, or
+    /// ~1% under `--smoke` so CI finishes in seconds.
+    [[nodiscard]] double workload_scale() const { return smoke ? 0.01 : 1.0; }
+};
+
+/// Parses the shared bench flags; unrecognized arguments are ignored (the
+/// figure/table drivers take nothing else).
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+    BenchArgs args;
     for (int i = 1; i < argc; ++i) {
-        if (std::string_view(argv[i]) == "--smoke") return true;
+        if (std::string_view(argv[i]) == "--smoke") args.smoke = true;
     }
-    return false;
+    return args;
 }
 
 /// Formats a normalized-cost cell the way the paper's tables do.

@@ -7,9 +7,7 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-    // Sub-second already; --smoke is accepted so CI can invoke every
-    // bench_fig* driver uniformly.
-    (void)ga::bench::smoke_mode(argc, argv);
+    (void)ga::bench::parse_bench_args(argc, argv);  // sub-second; --smoke ignored
     ga::bench::banner("Figure 1: awareness of sustainability metrics");
 
     ga::util::TablePrinter table({"Metric", "Yes", "No", "Not Applicable", "Total"});

@@ -6,9 +6,7 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-    // Sub-second already; --smoke is accepted so CI can invoke every
-    // bench_fig* driver uniformly.
-    (void)ga::bench::smoke_mode(argc, argv);
+    (void)ga::bench::parse_bench_args(argc, argv);  // sub-second; --smoke ignored
     ga::bench::banner("Figure 2: machine-selection priorities");
 
     ga::util::TablePrinter table(

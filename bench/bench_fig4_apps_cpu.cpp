@@ -12,7 +12,7 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-    const bool smoke = ga::bench::smoke_mode(argc, argv);
+    const auto args = ga::bench::parse_bench_args(argc, argv);
     ga::bench::banner("Figure 4: seven applications on four CPU nodes");
 
     const auto machines = ga::machine::chameleon_cpu_nodes();
@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     for (const auto& kernel : ga::kernels::make_suite()) {
         // Smoke mode quarters the problem size: the kernels still really
         // execute and self-verify, just small enough for a CI tick.
-        const int n = smoke ? std::max(1, kernel->paper_scale() / 4)
+        const int n = args.smoke ? std::max(1, kernel->paper_scale() / 4)
                             : kernel->paper_scale();
         std::printf("running %s (n=%d)...\n",
                     std::string(kernel->name()).c_str(), n);

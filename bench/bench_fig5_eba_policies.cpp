@@ -13,9 +13,9 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-    const bool smoke = ga::bench::smoke_mode(argc, argv);
+    const auto args = ga::bench::parse_bench_args(argc, argv);
     ga::bench::banner("Figure 5: EBA simulation (8 policies)");
-    const auto simulator = ga::bench::make_simulator(ga::bench::scale_for(smoke));
+    const auto simulator = ga::bench::make_simulator(args);
 
     // The fixed allocation: 75% of what Greedy needs for the full workload.
     const auto greedy_full =

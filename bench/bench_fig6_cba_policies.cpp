@@ -10,9 +10,9 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-    const bool smoke = ga::bench::smoke_mode(argc, argv);
+    const auto args = ga::bench::parse_bench_args(argc, argv);
     ga::bench::banner("Figure 6: CBA simulation, work at fixed allocation");
-    const auto simulator = ga::bench::make_simulator(ga::bench::scale_for(smoke));
+    const auto simulator = ga::bench::make_simulator(args);
 
     // Match the paper: the CBA budget lets Greedy run the same share of work
     // as it did in Fig 5a (75% of its full-run cost there).

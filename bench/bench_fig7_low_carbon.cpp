@@ -13,9 +13,9 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-    const bool smoke = ga::bench::smoke_mode(argc, argv);
+    const auto args = ga::bench::parse_bench_args(argc, argv);
     ga::bench::banner("Figure 7: CBA with low-carbon regional grids");
-    const auto simulator = ga::bench::make_simulator(ga::bench::scale_for(smoke));
+    const auto simulator = ga::bench::make_simulator(args);
 
     // ---- 7a: the five budgeted regional-grid runs, swept concurrently ----
     // Beyond the paper, the same grid also sweeps three context-aware

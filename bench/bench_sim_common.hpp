@@ -8,15 +8,12 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
 #include "workload/workload.hpp"
 
 namespace ga::bench {
-
-/// Workload scale for a driver mode: full paper scale, or ~1% under
-/// `--smoke` (see ga::bench::smoke_mode) so CI finishes in seconds.
-inline double scale_for(bool smoke) { return smoke ? 0.01 : 1.0; }
 
 /// Builds the paper-scale workload (142,380 jobs) and the simulator.
 /// Pass `scale < 1.0` to shrink for quick runs.
@@ -27,6 +24,12 @@ inline ga::sim::BatchSimulator make_simulator(double scale = 1.0) {
     std::printf("building workload: %zu jobs over %zu users...\n",
                 options.total_jobs(), options.users);
     return ga::sim::BatchSimulator(ga::workload::build_workload(options));
+}
+
+/// Builds the simulator at the scale the parsed bench args call for
+/// (paper scale, or ~1% under `--smoke`).
+inline ga::sim::BatchSimulator make_simulator(const BenchArgs& args) {
+    return make_simulator(args.workload_scale());
 }
 
 /// Expands a scenario grid and executes it concurrently. Outcome order is

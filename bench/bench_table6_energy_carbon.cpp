@@ -8,9 +8,9 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-    const bool smoke = ga::bench::smoke_mode(argc, argv);
+    const auto args = ga::bench::parse_bench_args(argc, argv);
     ga::bench::banner("Table 6: energy and carbon per policy");
-    const auto simulator = ga::bench::make_simulator(ga::bench::scale_for(smoke));
+    const auto simulator = ga::bench::make_simulator(args);
 
     ga::util::TablePrinter table({"Policy", "Energy (MWh)", "Operational (kg)",
                                   "Attributed (kg)"});

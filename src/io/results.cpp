@@ -1,0 +1,191 @@
+#include "io/results.hpp"
+
+#include <cmath>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace ga::io {
+
+using ga::util::RuntimeError;
+
+namespace {
+
+// Integers survive the JSON double representation exactly only up to 2^53.
+constexpr double kMaxExactInteger = 9007199254740992.0;
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+    throw RuntimeError("results: \"" + path + "\": " + why);
+}
+
+double get_number(const JsonValue& v, const std::string& path) {
+    if (!v.is_number()) {
+        fail(path, "expected number, got " + std::string(kind_name(v.kind())));
+    }
+    return v.as_number();
+}
+
+std::size_t get_count(const JsonValue& v, const std::string& path) {
+    const double n = get_number(v, path);
+    if (!(n >= 0.0) || n > kMaxExactInteger || std::trunc(n) != n) {
+        fail(path, "expected a non-negative integer");
+    }
+    return static_cast<std::size_t>(n);
+}
+
+/// Required row member; the diagnostic names the full missing path.
+const JsonValue& require_key(const JsonValue& v, const char* key,
+                             const std::string& path) {
+    const JsonValue* found = v.find(key);
+    if (found == nullptr) fail(path + "." + key, "required key is missing");
+    return *found;
+}
+
+JsonValue result_to_json(const ga::sim::SimResult& result,
+                         bool include_finish_times) {
+    JsonValue out;
+    out.set("work_core_hours", result.work_core_hours);
+    out.set("jobs_completed", static_cast<double>(result.jobs_completed));
+    out.set("jobs_skipped", static_cast<double>(result.jobs_skipped));
+    out.set("total_cost", result.total_cost);
+    out.set("energy_mwh", result.energy_mwh);
+    out.set("operational_carbon_kg", result.operational_carbon_kg);
+    out.set("attributed_carbon_kg", result.attributed_carbon_kg);
+    out.set("makespan_s", result.makespan_s);
+    JsonValue per_machine{JsonValue::Object{}};
+    for (const auto& [machine, jobs] : result.jobs_per_machine) {
+        per_machine.set(machine, static_cast<double>(jobs));
+    }
+    out.set("jobs_per_machine", std::move(per_machine));
+    JsonValue spent{JsonValue::Object{}};
+    for (const auto& [currency, amount] : result.currency_spent) {
+        spent.set(currency, amount);
+    }
+    out.set("currency_spent", std::move(spent));
+    if (include_finish_times) {
+        JsonValue::Array times;
+        times.reserve(result.finish_times_s.size());
+        for (const double t : result.finish_times_s) times.emplace_back(t);
+        out.set("finish_times_s", JsonValue(std::move(times)));
+    }
+    return out;
+}
+
+}  // namespace
+
+JsonValue results_to_json(std::span<const ga::sim::SweepOutcome> outcomes,
+                          const ResultWriteOptions& options) {
+    JsonValue out;
+    if (!options.scenario_name.empty()) {
+        out.set("scenario", options.scenario_name);
+    }
+    JsonValue::Array rows;
+    rows.reserve(outcomes.size());
+    for (const auto& outcome : outcomes) {
+        JsonValue row;
+        row.set("label", outcome.spec.label);
+        // Flatten the result fields into the row, after the label.
+        JsonValue result =
+            result_to_json(outcome.result, options.include_finish_times);
+        for (auto& [key, value] : result.as_object()) {
+            row.set(key, std::move(value));
+        }
+        rows.push_back(std::move(row));
+    }
+    out.set("results", JsonValue(std::move(rows)));
+    return out;
+}
+
+std::string results_to_json_text(
+    std::span<const ga::sim::SweepOutcome> outcomes,
+    const ResultWriteOptions& options) {
+    return write_json(results_to_json(outcomes, options));
+}
+
+std::string results_to_csv(std::span<const ga::sim::SweepOutcome> outcomes) {
+    ga::util::CsvWriter writer(
+        {"label", "work_core_hours", "jobs_completed", "jobs_skipped",
+         "total_cost", "energy_mwh", "operational_carbon_kg",
+         "attributed_carbon_kg", "makespan_s"});
+    for (const auto& outcome : outcomes) {
+        const auto& r = outcome.result;
+        writer.add_row({outcome.spec.label, format_double(r.work_core_hours),
+                        std::to_string(r.jobs_completed),
+                        std::to_string(r.jobs_skipped),
+                        format_double(r.total_cost),
+                        format_double(r.energy_mwh),
+                        format_double(r.operational_carbon_kg),
+                        format_double(r.attributed_carbon_kg),
+                        format_double(r.makespan_s)});
+    }
+    return writer.to_string();
+}
+
+std::vector<ResultRow> results_from_json(const JsonValue& root) {
+    if (!root.is_object()) fail("(document)", "expected object");
+    const JsonValue* rows = root.find("results");
+    if (rows == nullptr) fail("results", "required key is missing");
+    if (!rows->is_array()) fail("results", "expected array");
+    std::vector<ResultRow> out;
+    out.reserve(rows->as_array().size());
+    std::size_t index = 0;
+    for (const JsonValue& entry : rows->as_array()) {
+        const std::string path = "results[" + std::to_string(index++) + "]";
+        if (!entry.is_object()) fail(path, "expected object");
+        ResultRow row;
+        const JsonValue* label = entry.find("label");
+        if (label == nullptr || !label->is_string()) {
+            fail(path + ".label", "expected string");
+        }
+        row.label = label->as_string();
+        auto& r = row.result;
+        const auto number = [&entry, &path](const char* key) {
+            return get_number(require_key(entry, key, path),
+                              path + "." + key);
+        };
+        const auto count = [&entry, &path](const char* key) {
+            return get_count(require_key(entry, key, path), path + "." + key);
+        };
+        r.work_core_hours = number("work_core_hours");
+        r.jobs_completed = count("jobs_completed");
+        r.jobs_skipped = count("jobs_skipped");
+        r.total_cost = number("total_cost");
+        r.energy_mwh = number("energy_mwh");
+        r.operational_carbon_kg = number("operational_carbon_kg");
+        r.attributed_carbon_kg = number("attributed_carbon_kg");
+        r.makespan_s = number("makespan_s");
+        if (const JsonValue* per_machine = entry.find("jobs_per_machine")) {
+            if (!per_machine->is_object()) {
+                fail(path + ".jobs_per_machine", "expected object");
+            }
+            for (const auto& [machine, jobs] : per_machine->as_object()) {
+                r.jobs_per_machine[machine] = get_count(
+                    jobs, path + ".jobs_per_machine." + machine);
+            }
+        }
+        if (const JsonValue* spent = entry.find("currency_spent")) {
+            if (!spent->is_object()) {
+                fail(path + ".currency_spent", "expected object");
+            }
+            for (const auto& [currency, amount] : spent->as_object()) {
+                r.currency_spent[currency] =
+                    get_number(amount, path + ".currency_spent." + currency);
+            }
+        }
+        if (const JsonValue* times = entry.find("finish_times_s")) {
+            if (!times->is_array()) {
+                fail(path + ".finish_times_s", "expected array");
+            }
+            std::size_t t = 0;
+            for (const JsonValue& time : times->as_array()) {
+                r.finish_times_s.push_back(get_number(
+                    time,
+                    path + ".finish_times_s[" + std::to_string(t++) + "]"));
+            }
+        }
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
+}  // namespace ga::io

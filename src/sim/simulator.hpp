@@ -46,6 +46,8 @@ struct ClusterOutage {
     std::size_t cluster = 0;  ///< index into the deployment
     double at_s = 0.0;        ///< outage time, seconds from simulation start
     int nodes_lost = 0;
+
+    friend bool operator==(const ClusterOutage&, const ClusterOutage&) = default;
 };
 
 /// One currency of a multi-currency allocation: a display name, the
@@ -57,6 +59,8 @@ struct CurrencyBudget {
     std::string currency;
     ga::acct::AccountantSpec accountant;
     double budget = 0.0;  ///< 0 = unlimited in this currency
+
+    friend bool operator==(const CurrencyBudget&, const CurrencyBudget&) = default;
 };
 
 /// Scenario and accounting configuration for one run.
@@ -93,6 +97,8 @@ struct SimOptions {
     /// burstier window while keeping job order and characteristics.
     double arrival_compression = 1.0;
     std::optional<ClusterOutage> outage;  ///< optional mid-run capacity loss
+
+    friend bool operator==(const SimOptions&, const SimOptions&) = default;
 };
 
 /// Aggregated outcome of one simulation run.

@@ -85,9 +85,12 @@ std::size_t SweepGrid::size() const noexcept {
 }
 
 std::vector<ScenarioSpec> SweepGrid::expand() const {
-    const SimOptions defaults;
+    const SimOptions& defaults = base;
 
-    // Combined policy axis: enum entries first, registry specs after.
+    // Combined policy axis: enum entries first, registry specs after. A
+    // swept axis point overrides both `base.policy` and `base.policy_spec`;
+    // when the axis is empty the base selection (enum or spec) is the
+    // single point.
     std::vector<PolicyPoint> ps;
     ps.reserve(policies.size() + policy_specs.size());
     for (const auto policy : policies) {
@@ -98,8 +101,11 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
         ps.push_back(PolicyPoint{defaults.policy, spec, spec.label()});
     }
     if (ps.empty()) {
-        ps.push_back(PolicyPoint{defaults.policy, std::nullopt,
-                                 std::string(to_string(defaults.policy))});
+        ps.push_back(PolicyPoint{
+            defaults.policy, defaults.policy_spec,
+            defaults.policy_spec.has_value()
+                ? defaults.policy_spec->label()
+                : std::string(to_string(defaults.policy))});
     }
 
     // Combined pricing axis: enum entries first, registry specs after.
@@ -113,8 +119,11 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
         ms.push_back(PricingPoint{defaults.pricing, spec, spec.label()});
     }
     if (ms.empty()) {
-        ms.push_back(PricingPoint{defaults.pricing, std::nullopt,
-                                  std::string(ga::acct::to_string(defaults.pricing))});
+        ms.push_back(PricingPoint{
+            defaults.pricing, defaults.accountant_spec,
+            defaults.accountant_spec.has_value()
+                ? defaults.accountant_spec->label()
+                : std::string(ga::acct::to_string(defaults.pricing))});
     }
 
     const auto bs = axis_or(budgets, defaults.budget);
@@ -135,6 +144,10 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                             for (const auto compression : cs)
                                 for (const auto& outage : os) {
                                     ScenarioSpec spec;
+                                    // Start from the base so axis-less
+                                    // fields (currency_budgets, ...) reach
+                                    // every scenario; axes override below.
+                                    spec.options = base;
                                     spec.options.policy = policy.enum_policy;
                                     spec.options.policy_spec = policy.spec;
                                     // A swept threshold axis reaches a

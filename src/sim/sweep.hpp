@@ -31,12 +31,23 @@ namespace ga::sim {
 struct ScenarioSpec {
     std::string label;
     SimOptions options;
+
+    friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
 
 /// Axes of a scenario grid. An empty axis collapses to the corresponding
-/// `SimOptions` default, so `SweepGrid{.policies = all_policies()}` expands
-/// to eight unbudgeted EBA scenarios.
+/// `base` value (a default-constructed `SimOptions` unless overridden), so
+/// `SweepGrid{.policies = all_policies()}` expands to eight unbudgeted EBA
+/// scenarios.
 struct SweepGrid {
+    /// Options every expanded scenario starts from. Swept axes override the
+    /// matching field per grid point; everything else — including the
+    /// axis-less fields `currency_budgets`, `policy_spec`/`accountant_spec`
+    /// singletons, and any unswept scalar — reaches every scenario
+    /// unchanged. The default keeps the pre-hook behavior (unswept axes
+    /// collapse to the `SimOptions` defaults). The scenario-file loader
+    /// (`io/scenario.hpp`) maps its "options" section here.
+    SimOptions base;
     std::vector<Policy> policies;
     /// Registry policies swept alongside the enum axis: the combined policy
     /// dimension is `policies` (in order) followed by `policy_specs`, so a

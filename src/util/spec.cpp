@@ -1,6 +1,10 @@
 #include "util/spec.hpp"
 
+#include <charconv>
 #include <cstdio>
+#include <system_error>
+
+#include "util/error.hpp"
 
 namespace ga::util {
 
@@ -24,6 +28,75 @@ std::string spec_label(const std::string& name,
     }
     out += ")";
     return out;
+}
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+[[noreturn]] void fail_spec(std::string_view label, const std::string& why) {
+    throw RuntimeError("spec: cannot parse \"" + std::string(label) +
+                       "\": " + why);
+}
+
+}  // namespace
+
+ParsedSpec parse_spec(std::string_view label) {
+    const std::string_view original = label;
+    label = trim(label);
+    ParsedSpec spec;
+    const std::size_t open = label.find('(');
+    if (open == std::string_view::npos) {
+        spec.name = std::string(label);
+        if (spec.name.empty()) fail_spec(original, "empty name");
+        return spec;
+    }
+    spec.name = std::string(trim(label.substr(0, open)));
+    if (spec.name.empty()) fail_spec(original, "empty name");
+    std::string_view body = label.substr(open + 1);
+    if (body.empty() || body.back() != ')') {
+        fail_spec(original, "missing ')'");
+    }
+    body.remove_suffix(1);
+    if (body.find('(') != std::string_view::npos ||
+        body.find(')') != std::string_view::npos) {
+        fail_spec(original, "nested parentheses");
+    }
+    if (trim(body).empty()) return spec;  // "Name()" — no params
+    while (true) {
+        const std::size_t comma = body.find(',');
+        const std::string_view entry =
+            comma == std::string_view::npos ? body : body.substr(0, comma);
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string_view::npos) {
+            fail_spec(original, "parameter \"" + std::string(trim(entry)) +
+                                    "\" has no '='");
+        }
+        const std::string key{trim(entry.substr(0, eq))};
+        if (key.empty()) fail_spec(original, "empty parameter key");
+        const std::string_view value_text = trim(entry.substr(eq + 1));
+        double value = 0.0;
+        const auto [end, ec] = std::from_chars(
+            value_text.data(), value_text.data() + value_text.size(), value);
+        if (ec != std::errc{} || end != value_text.data() + value_text.size() ||
+            value_text.empty()) {
+            fail_spec(original, "malformed value for \"" + key + "\"");
+        }
+        if (!spec.params.emplace(key, value).second) {
+            fail_spec(original, "duplicate key \"" + key + "\"");
+        }
+        if (comma == std::string_view::npos) break;
+        body.remove_prefix(comma + 1);
+    }
+    return spec;
 }
 
 }  // namespace ga::util

@@ -20,4 +20,22 @@ namespace ga::util {
 [[nodiscard]] std::string spec_label(
     const std::string& name, const std::map<std::string, double>& params);
 
+/// A `spec_label` string decomposed back into its parts — the shape both
+/// `ga::sim::PolicySpec` and `ga::acct::AccountantSpec` are built from.
+struct ParsedSpec {
+    std::string name;
+    std::map<std::string, double> params;
+
+    friend bool operator==(const ParsedSpec&, const ParsedSpec&) = default;
+};
+
+/// Inverse of `spec_label`: parses "Name" or "Name(key=value,...)".
+/// Whitespace around the name, keys, and values is trimmed, so
+/// "Mixed(threshold = 1.5)" also parses. Throws RuntimeError naming the
+/// defect (empty name, missing ')', empty key, malformed value, duplicate
+/// key). `parse_spec(spec_label(n, p)) == ParsedSpec{n, p}` for every
+/// label `spec_label` can produce whose values survive its %.6g
+/// formatting.
+[[nodiscard]] ParsedSpec parse_spec(std::string_view label);
+
 }  // namespace ga::util

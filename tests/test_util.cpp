@@ -1,12 +1,16 @@
-// Unit tests for ga_util: RNG, CSV, tables, time series, units, errors.
+// Unit tests for ga_util: RNG, CSV, tables, time series, units, errors,
+// spec labels and their parse_spec inverse.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
 
+#include "core/accounting.hpp"
+#include "sim/policy.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/spec.hpp"
 #include "util/table.hpp"
 #include "util/time_series.hpp"
 #include "util/units.hpp"
@@ -278,6 +282,134 @@ TEST(Error, RequireThrowsWithContext) {
         FAIL() << "should have thrown";
     } catch (const ga::util::PreconditionError& e) {
         EXPECT_NE(std::string(e.what()).find("something bad"), std::string::npos);
+    }
+}
+
+// ----------------------------------------------------------- csv edges
+TEST(Csv, ColumnMissNamesTheColumn) {
+    CsvWriter w({"label", "value"});
+    w.add_row({"a", "1"});
+    const auto table = ga::util::parse_csv(w.to_string());
+    try {
+        (void)table.column("valeu");
+        FAIL() << "should have thrown";
+    } catch (const ga::util::RuntimeError& e) {
+        EXPECT_NE(std::string(e.what()).find("valeu"), std::string::npos);
+    }
+}
+
+TEST(Csv, QuotedFieldsRoundTripThroughWriteParse) {
+    const std::vector<std::string> nasty = {
+        "plain",
+        "comma,inside",
+        "quote\"inside",
+        "\"fully quoted\"",
+        "new\nline",
+        "crlf\r\nline",
+        "all,of\"it\nat,once\"",
+        "",
+    };
+    CsvWriter w({"field", "index"});
+    for (std::size_t i = 0; i < nasty.size(); ++i) {
+        w.add_row({nasty[i], std::to_string(i)});
+    }
+    const auto table = ga::util::parse_csv(w.to_string());
+    ASSERT_EQ(table.rows.size(), nasty.size());
+    for (std::size_t i = 0; i < nasty.size(); ++i) {
+        EXPECT_EQ(table.rows[i][0], nasty[i]) << "row " << i;
+        EXPECT_EQ(table.rows[i][1], std::to_string(i));
+    }
+}
+
+// ----------------------------------------------------- spec label parse
+TEST(ParseSpec, NameOnly) {
+    const auto spec = ga::util::parse_spec("Greedy");
+    EXPECT_EQ(spec.name, "Greedy");
+    EXPECT_TRUE(spec.params.empty());
+}
+
+TEST(ParseSpec, NameWithParams) {
+    const auto spec = ga::util::parse_spec("Blended(carbon_weight=0.5,core_weight=2)");
+    EXPECT_EQ(spec.name, "Blended");
+    const std::map<std::string, double> expected = {{"carbon_weight", 0.5},
+                                                    {"core_weight", 2.0}};
+    EXPECT_EQ(spec.params, expected);
+}
+
+TEST(ParseSpec, ToleratesWhitespaceAndEmptyParens) {
+    const auto spec = ga::util::parse_spec("  Mixed ( threshold = 1.5 ) ");
+    EXPECT_EQ(spec.name, "Mixed");
+    EXPECT_EQ(spec.params.at("threshold"), 1.5);
+    EXPECT_TRUE(ga::util::parse_spec("EBA()").params.empty());
+}
+
+TEST(ParseSpec, RejectsMalformedLabels) {
+    using ga::util::parse_spec;
+    using ga::util::RuntimeError;
+    EXPECT_THROW((void)parse_spec(""), RuntimeError);
+    EXPECT_THROW((void)parse_spec("   "), RuntimeError);
+    EXPECT_THROW((void)parse_spec("(x=1)"), RuntimeError);
+    EXPECT_THROW((void)parse_spec("Name("), RuntimeError);
+    EXPECT_THROW((void)parse_spec("Name(a)"), RuntimeError);
+    EXPECT_THROW((void)parse_spec("Name(a=)"), RuntimeError);
+    EXPECT_THROW((void)parse_spec("Name(a=zebra)"), RuntimeError);
+    EXPECT_THROW((void)parse_spec("Name(a=1,a=2)"), RuntimeError);
+    EXPECT_THROW((void)parse_spec("Name(a=1))"), RuntimeError);
+    EXPECT_THROW((void)parse_spec("Name(a=1)x"), RuntimeError);
+    EXPECT_THROW((void)parse_spec("Name(=1)"), RuntimeError);
+}
+
+TEST(ParseSpec, ErrorNamesTheDefect) {
+    try {
+        (void)ga::util::parse_spec("Mixed(threshold=fast)");
+        FAIL() << "should have thrown";
+    } catch (const ga::util::RuntimeError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("threshold"), std::string::npos);
+        EXPECT_NE(what.find("Mixed(threshold=fast)"), std::string::npos);
+    }
+}
+
+// parse_spec is the inverse of spec_label over every builtin registry
+// name — the contract ga-sim's --policy/--accountant overrides rely on.
+TEST(ParseSpec, RoundTripsAllBuiltinPolicyNames) {
+    for (const auto& name : ga::sim::PolicyRegistry::global().names()) {
+        const std::map<std::string, double> params = {{"alpha", 0.25},
+                                                      {"k", 3.0}};
+        for (const auto& p :
+             {std::map<std::string, double>{}, params}) {
+            const std::string label = ga::util::spec_label(name, p);
+            const auto parsed = ga::util::parse_spec(label);
+            EXPECT_EQ(parsed.name, name) << label;
+            EXPECT_EQ(parsed.params, p) << label;
+        }
+    }
+}
+
+TEST(ParseSpec, RoundTripsAllBuiltinAccountantNames) {
+    for (const auto& name : ga::acct::AccountantRegistry::global().names()) {
+        const std::map<std::string, double> params = {{"beta", 0.5},
+                                                      {"rate", 0.02}};
+        for (const auto& p :
+             {std::map<std::string, double>{}, params}) {
+            const std::string label = ga::util::spec_label(name, p);
+            const auto parsed = ga::util::parse_spec(label);
+            EXPECT_EQ(parsed.name, name) << label;
+            EXPECT_EQ(parsed.params, p) << label;
+        }
+    }
+}
+
+TEST(ParseSpec, RoundTripsBeyondPaperSpecLabels) {
+    for (const auto& spec : ga::sim::beyond_paper_policies()) {
+        const auto parsed = ga::util::parse_spec(spec.label());
+        EXPECT_EQ(parsed.name, spec.name);
+        EXPECT_EQ(parsed.params, spec.params);
+    }
+    for (const auto& spec : ga::acct::beyond_paper_accountants()) {
+        const auto parsed = ga::util::parse_spec(spec.label());
+        EXPECT_EQ(parsed.name, spec.name);
+        EXPECT_EQ(parsed.params, spec.params);
     }
 }
 
