@@ -102,6 +102,12 @@ void JsonValue::set(std::string_view key, JsonValue value) {
 
 namespace {
 
+/// Maximum container nesting the parser accepts. The parser (and the DOM's
+/// destructor) recurse per level, so unbounded nesting would let a hostile
+/// document ("[[[[…") overflow the stack; 256 is far beyond any legitimate
+/// scenario or bench file.
+constexpr std::size_t kMaxNestingDepth = 256;
+
 class Parser {
 public:
     explicit Parser(std::string_view text) : text_(text) {}
@@ -312,12 +318,21 @@ private:
         }
     }
 
+    void enter_container() {
+        if (++depth_ > kMaxNestingDepth) {
+            fail("nesting deeper than " + std::to_string(kMaxNestingDepth) +
+                 " levels");
+        }
+    }
+
     JsonValue parse_array() {
         expect('[');
+        enter_container();
         JsonValue::Array array;
         skip_whitespace();
         if (!eof() && peek() == ']') {
             ++pos_;
+            --depth_;
             return JsonValue(std::move(array));
         }
         while (true) {
@@ -326,7 +341,10 @@ private:
             skip_whitespace();
             if (eof()) fail("unterminated array");
             const char c = text_[pos_++];
-            if (c == ']') return JsonValue(std::move(array));
+            if (c == ']') {
+                --depth_;
+                return JsonValue(std::move(array));
+            }
             if (c != ',') {
                 --pos_;
                 fail("expected ',' or ']' in array");
@@ -336,10 +354,12 @@ private:
 
     JsonValue parse_object() {
         expect('{');
+        enter_container();
         JsonValue::Object object;
         skip_whitespace();
         if (!eof() && peek() == '}') {
             ++pos_;
+            --depth_;
             return JsonValue(std::move(object));
         }
         while (true) {
@@ -356,7 +376,10 @@ private:
             skip_whitespace();
             if (eof()) fail("unterminated object");
             const char c = text_[pos_++];
-            if (c == '}') return JsonValue(std::move(object));
+            if (c == '}') {
+                --depth_;
+                return JsonValue(std::move(object));
+            }
             if (c != ',') {
                 --pos_;
                 fail("expected ',' or '}' in object");
@@ -366,6 +389,7 @@ private:
 
     std::string_view text_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 }  // namespace

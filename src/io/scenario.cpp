@@ -350,7 +350,10 @@ ga::workload::TraceOptions get_workload(const JsonValue& v,
                                         const std::string& path) {
     expect_object(v, path);
     check_keys(v, path,
-               {"base_jobs", "repetitions", "users", "span_days", "seed"});
+               {"base_jobs", "repetitions", "users", "span_days", "seed",
+                "arrival", "diurnal_peak_hour", "diurnal_amplitude",
+                "weekend_factor", "burst_fraction", "burst_width_s",
+                "burst_mean_jobs"});
     ga::workload::TraceOptions options;
     if (const JsonValue* f = v.find("base_jobs")) {
         options.base_jobs =
@@ -377,6 +380,53 @@ ga::workload::TraceOptions get_workload(const JsonValue& v,
     }
     if (const JsonValue* f = v.find("seed")) {
         options.seed = get_uint(*f, path + ".seed");
+    }
+    if (const JsonValue* f = v.find("arrival")) {
+        const std::string name = get_string(*f, path + ".arrival");
+        const auto arrival = ga::workload::arrival_from_string(name);
+        if (!arrival.has_value()) {
+            fail(path + ".arrival", "unknown arrival process \"" + name +
+                                        "\" (known: uniform, diurnal)");
+        }
+        options.arrival = *arrival;
+    }
+    if (const JsonValue* f = v.find("diurnal_peak_hour")) {
+        options.diurnal_peak_hour = get_number(*f, path + ".diurnal_peak_hour");
+        if (!(options.diurnal_peak_hour >= 0.0 &&
+              options.diurnal_peak_hour < 24.0)) {
+            fail(path + ".diurnal_peak_hour", "must be in [0, 24)");
+        }
+    }
+    if (const JsonValue* f = v.find("diurnal_amplitude")) {
+        options.diurnal_amplitude = get_number(*f, path + ".diurnal_amplitude");
+        if (!(options.diurnal_amplitude >= 0.0 &&
+              options.diurnal_amplitude < 1.0)) {
+            fail(path + ".diurnal_amplitude", "must be in [0, 1)");
+        }
+    }
+    if (const JsonValue* f = v.find("weekend_factor")) {
+        options.weekend_factor = get_number(*f, path + ".weekend_factor");
+        if (!(options.weekend_factor > 0.0 && options.weekend_factor <= 1.0)) {
+            fail(path + ".weekend_factor", "must be in (0, 1]");
+        }
+    }
+    if (const JsonValue* f = v.find("burst_fraction")) {
+        options.burst_fraction = get_number(*f, path + ".burst_fraction");
+        if (!(options.burst_fraction >= 0.0 && options.burst_fraction <= 1.0)) {
+            fail(path + ".burst_fraction", "must be in [0, 1]");
+        }
+    }
+    if (const JsonValue* f = v.find("burst_width_s")) {
+        options.burst_width_s = get_number(*f, path + ".burst_width_s");
+        if (!(options.burst_width_s > 0.0)) {
+            fail(path + ".burst_width_s", "must be > 0");
+        }
+    }
+    if (const JsonValue* f = v.find("burst_mean_jobs")) {
+        options.burst_mean_jobs = get_number(*f, path + ".burst_mean_jobs");
+        if (!(options.burst_mean_jobs >= 1.0)) {
+            fail(path + ".burst_mean_jobs", "must be >= 1");
+        }
     }
     return options;
 }
@@ -509,6 +559,14 @@ JsonValue scenario_to_json(const ScenarioFile& scenario) {
     workload.set("users", uint_to_json(scenario.workload.users, "users"));
     workload.set("span_days", scenario.workload.span_days);
     workload.set("seed", uint_to_json(scenario.workload.seed, "workload seed"));
+    workload.set("arrival", std::string(ga::workload::to_string(
+                                scenario.workload.arrival)));
+    workload.set("diurnal_peak_hour", scenario.workload.diurnal_peak_hour);
+    workload.set("diurnal_amplitude", scenario.workload.diurnal_amplitude);
+    workload.set("weekend_factor", scenario.workload.weekend_factor);
+    workload.set("burst_fraction", scenario.workload.burst_fraction);
+    workload.set("burst_width_s", scenario.workload.burst_width_s);
+    workload.set("burst_mean_jobs", scenario.workload.burst_mean_jobs);
     out.set("workload", std::move(workload));
     out.set("options", options_to_json(scenario.grid.base));
 

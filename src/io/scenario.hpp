@@ -13,7 +13,11 @@
 //     "description": "...",
 //     "workload": {                              // trace generator knobs
 //       "base_jobs": 71190, "repetitions": 2, "users": 400,
-//       "span_days": 12.0, "seed": 2023
+//       "span_days": 12.0, "seed": 2023,
+//       "arrival": "uniform" | "diurnal",        // datacenter-scale arrivals
+//       "diurnal_peak_hour": 14.0, "diurnal_amplitude": 0.75,
+//       "weekend_factor": 0.35, "burst_fraction": 0.15,
+//       "burst_width_s": 120.0, "burst_mean_jobs": 50.0
 //     },
 //     "options": { ... },   // SimOptions every scenario starts from
 //     "grid":    { ... }    // sweep axes overriding options per point

@@ -1,10 +1,9 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <limits>
-#include <queue>
-#include <unordered_set>
 
 #include "carbon/grids.hpp"
 #include "util/error.hpp"
@@ -42,7 +41,12 @@ BatchSimulator::BatchSimulator(ga::workload::Workload workload,
     // one-running-job-per-(user, cluster) rule makes per-user capacity
     // equivalent to everyone owning one such machine.
     std::uint32_t max_user = 0;
-    for (const auto& j : workload_.jobs) max_user = std::max(max_user, j.user);
+    max_job_cores_ = 1;
+    for (const auto& j : workload_.jobs) {
+        max_user = std::max(max_user, j.user);
+        max_job_cores_ = std::max(max_job_cores_, j.cores);
+    }
+    n_users_ = static_cast<std::size_t>(max_user) + 1;
     for (auto& c : clusters_) {
         if (c.nodes == 0) c.nodes = static_cast<int>(max_user) + 1;
     }
@@ -120,7 +124,15 @@ struct Event {
     }
 };
 
-/// Runtime state of one cluster.
+/// Skip-ahead window: a real scheduler's backfill depth, bounding the
+/// per-event scan cost on deep queues. Both queue policies honor it.
+constexpr std::size_t kBackfillDepth = 256;
+
+constexpr std::uint32_t kNoJob = 0xFFFFFFFFu;
+
+/// Runtime state of one cluster. Queue storage lives in the run's queue
+/// policy (LinearQueues / IndexedQueues); this carries the counters both
+/// share.
 struct ClusterState {
     int free_cores = 0;
     int capacity = 0;  // effective total cores (shrinks on an outage)
@@ -129,8 +141,6 @@ struct ClusterState {
     double sum_cores_end = 0.0;
     double running_cores = 0.0;
     double queued_core_seconds = 0.0;
-    std::deque<std::uint32_t> queue;  // waiting job ids, FIFO with skip-ahead
-    std::unordered_set<std::uint32_t> users_running;
 
     [[nodiscard]] double wait_estimate(double now) const noexcept {
         // A fully-outaged cluster (capacity 0) has an unbounded wait; the
@@ -143,10 +153,191 @@ struct ClusterState {
     }
 };
 
-/// All mutable state of one simulation run. `BatchSimulator::run` is const
-/// and owns exactly one RunState per invocation on its stack, so concurrent
-/// runs over the same simulator never share mutable data — the sweep engine
-/// (`sim/sweep.hpp`) is sound by construction.
+/// The original FIFO-with-skip-ahead queue: a deque of job ids, every scan
+/// re-reading the trace job for its core demand and user, every event
+/// paying the full kBackfillDepth walk on a blocked queue, and the outage
+/// walk erasing one element at a time. Kept as the linear reference —
+/// `run_reference` uses it as the bit-identity oracle for the indexed path
+/// and the bench's speedup baseline.
+class LinearQueues {
+public:
+    /// No immediate-start bypass: submits always enqueue + drain, exactly
+    /// like the pre-index executor.
+    static constexpr bool kImmediateStart = false;
+
+    void reset(std::size_t n_clusters, std::size_t /*n_jobs*/,
+               const ga::workload::TraceJob* jobs, int /*max_cores*/) {
+        jobs_ = jobs;
+        queues_.assign(n_clusters, {});
+    }
+
+    void push(std::size_t c, std::uint32_t j, int /*cores*/,
+              std::uint32_t /*user*/) {
+        queues_[c].push_back(j);
+    }
+
+    [[nodiscard]] std::size_t depth(std::size_t c) const noexcept {
+        return queues_[c].size();
+    }
+
+    /// Scans the first kBackfillDepth entries in FIFO order;
+    /// `try_start(job, cores, user)` returning true removes the entry.
+    template <typename TryStart>
+    void drain(std::size_t c, const ClusterState& /*cs*/,
+               TryStart&& try_start) {
+        auto& q = queues_[c];
+        std::size_t scanned = 0;
+        for (auto it = q.begin(); it != q.end() && scanned < kBackfillDepth;
+             ++scanned) {
+            const std::uint32_t j = *it;
+            if (try_start(j, jobs_[j].cores, jobs_[j].user)) {
+                it = q.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    /// Full-queue walk in FIFO order; `remove(job, cores)` returning true
+    /// drops the entry.
+    template <typename Remove>
+    void remove_if(std::size_t c, Remove&& remove) {
+        auto& q = queues_[c];
+        for (auto it = q.begin(); it != q.end();) {
+            if (remove(*it, jobs_[*it].cores)) {
+                it = q.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+private:
+    const ga::workload::TraceJob* jobs_ = nullptr;
+    std::vector<std::deque<std::uint32_t>> queues_;
+};
+
+/// The indexed queue behind `run`. Three structural changes over the linear
+/// deque-of-ids, each preserving FIFO scan order (so scheduling decisions
+/// stay bit-identical):
+///
+///   * entries carry their core demand and user inline, so the hot
+///     kBackfillDepth scan streams contiguous 12-byte records instead of
+///     chasing a random trace-array read per queued job;
+///   * a per-cluster bucket count of queued core demands with a cached
+///     minimum lets a drain pass exit in O(1) whenever the smallest queued
+///     demand exceeds the free cores (the common state of a saturated
+///     cluster) — skipped jobs could not have started, so the early exit is
+///     unobservable;
+///   * the outage walk compacts in one O(queue) pass instead of the
+///     linear executor's per-erase shifting.
+///
+/// It also opts into the submit fast path (`kImmediateStart`): a job
+/// arriving at an empty queue that can start now skips the queue entirely.
+class IndexedQueues {
+public:
+    static constexpr bool kImmediateStart = true;
+
+    void reset(std::size_t n_clusters, std::size_t /*n_jobs*/,
+               const ga::workload::TraceJob* /*jobs*/, int max_cores) {
+        max_cores_ = max_cores;
+        if (clusters_.size() != n_clusters) clusters_.resize(n_clusters);
+        for (auto& pc : clusters_) {
+            pc.entries.clear();
+            pc.by_cores.assign(static_cast<std::size_t>(max_cores) + 1, 0);
+            pc.min_cores = max_cores + 1;
+        }
+    }
+
+    void push(std::size_t c, std::uint32_t j, int cores, std::uint32_t user) {
+        PerCluster& pc = clusters_[c];
+        pc.entries.push_back(Entry{j, cores, user});
+        const int b = bucket(cores);
+        ++pc.by_cores[b];
+        pc.min_cores = std::min(pc.min_cores, b);
+    }
+
+    [[nodiscard]] std::size_t depth(std::size_t c) const noexcept {
+        return clusters_[c].entries.size();
+    }
+
+    template <typename TryStart>
+    void drain(std::size_t c, const ClusterState& cs, TryStart&& try_start) {
+        PerCluster& pc = clusters_[c];
+        // Early exit: the smallest queued demand is a lower bound for every
+        // entry, so nothing can start when it exceeds the free cores. Only
+        // a successful start changes either side, so the bound is
+        // re-checked after starts, not per scanned entry.
+        if (pc.entries.empty() || cs.free_cores < min_queued_cores(pc)) {
+            return;
+        }
+        auto& q = pc.entries;
+        std::size_t scanned = 0;
+        for (auto it = q.begin(); it != q.end() && scanned < kBackfillDepth;
+             ++scanned) {
+            if (try_start(it->job, it->cores, it->user)) {
+                --pc.by_cores[bucket(it->cores)];
+                it = q.erase(it);
+                if (q.empty() || cs.free_cores < min_queued_cores(pc)) {
+                    return;
+                }
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    template <typename Remove>
+    void remove_if(std::size_t c, Remove&& remove) {
+        PerCluster& pc = clusters_[c];
+        // Single-pass compaction (std::remove_if applies the predicate
+        // exactly once per entry, first to last, preserving the FIFO
+        // side-effect order of the linear walk).
+        const auto keep_end = std::remove_if(
+            pc.entries.begin(), pc.entries.end(), [&](const Entry& e) {
+                if (!remove(e.job, e.cores)) return false;
+                --pc.by_cores[bucket(e.cores)];
+                return true;
+            });
+        pc.entries.erase(keep_end, pc.entries.end());
+    }
+
+private:
+    struct Entry {
+        std::uint32_t job;
+        int cores;
+        std::uint32_t user;
+    };
+
+    struct PerCluster {
+        std::deque<Entry> entries;  ///< FIFO, scanned contiguously
+        std::vector<std::uint32_t> by_cores;  ///< queued count per core demand
+        int min_cores = 0;  ///< lazily-advanced lower bound of the smallest
+    };
+
+    [[nodiscard]] int bucket(int cores) const noexcept {
+        return std::clamp(cores, 0, max_cores_);
+    }
+
+    [[nodiscard]] int min_queued_cores(PerCluster& pc) const noexcept {
+        while (pc.min_cores <= max_cores_ &&
+               pc.by_cores[pc.min_cores] == 0) {
+            ++pc.min_cores;
+        }
+        return pc.min_cores;
+    }
+
+    int max_cores_ = 1;
+    std::vector<PerCluster> clusters_;
+};
+
+/// All mutable state of one simulation run, pooled per thread: `run` is
+/// const and each invocation borrows its thread's RunState (resetting every
+/// field but keeping vector capacity), so concurrent runs over the same
+/// simulator never share mutable data — the sweep engine (`sim/sweep.hpp`)
+/// stays sound — while repeated runs (sweeps, benches) stop churning the
+/// allocator on million-job traces.
+template <typename Queues>
 struct RunState {
     std::vector<ClusterState> cluster;
     std::vector<std::size_t> jobs_per_cluster;  // index-counted, named later
@@ -158,14 +349,28 @@ struct RunState {
     std::vector<double> currency_remaining;
     std::vector<double> currency_spent;
     std::vector<double> currency_charged;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    // One flag per (cluster, user): the paper's one-running-job-per-user
+    // rule, flat array instead of hash sets.
+    std::vector<std::uint8_t> user_running;
+    // Binary min-heap via std::push_heap/pop_heap (same comparator, and the
+    // Event order is total, so pop order matches std::priority_queue) over a
+    // reusable, pre-sized vector.
+    std::vector<Event> events;
+    Queues queues;
     double budget_remaining = std::numeric_limits<double>::infinity();
     SimResult result;
 };
 
+template <typename Queues>
+RunState<Queues>& pooled_run_state() {
+    static thread_local RunState<Queues> state;
+    return state;
+}
+
 }  // namespace
 
-SimResult BatchSimulator::run(const SimOptions& options) const {
+template <typename Queues>
+SimResult BatchSimulator::run_impl(const SimOptions& options) const {
     const std::size_t n_clusters = clusters_.size();
     const auto& jobs = workload_.jobs;
 
@@ -251,8 +456,8 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
     // ---- state ----
     GA_REQUIRE(options.arrival_compression > 0.0,
                "simulator: arrival compression must be positive");
-    RunState rs;
-    rs.cluster.resize(n_clusters);
+    RunState<Queues>& rs = pooled_run_state<Queues>();
+    rs.cluster.assign(n_clusters, ClusterState{});
     for (std::size_t c = 0; c < n_clusters; ++c) {
         rs.cluster[c].free_cores = clusters_[c].total_cores();
         rs.cluster[c].capacity = clusters_[c].total_cores();
@@ -260,7 +465,13 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
     rs.jobs_per_cluster.assign(n_clusters, 0);
     rs.start_time.assign(jobs.size(), 0.0);
     rs.charged.assign(jobs.size(), 0.0);
-    if (options.budget > 0.0) rs.budget_remaining = options.budget;
+    rs.user_running.assign(n_clusters * n_users_, 0);
+    rs.queues.reset(n_clusters, jobs.size(), jobs.data(), max_job_cores_);
+    rs.events.clear();
+    rs.events.reserve(jobs.size() + 2);
+    rs.budget_remaining = options.budget > 0.0
+                              ? options.budget
+                              : std::numeric_limits<double>::infinity();
     if (n_currencies > 0) {
         rs.currency_remaining.resize(n_currencies);
         for (std::size_t k = 0; k < n_currencies; ++k) {
@@ -271,10 +482,20 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
         }
         rs.currency_spent.assign(n_currencies, 0.0);
         rs.currency_charged.assign(jobs.size() * n_currencies, 0.0);
+    } else {
+        rs.currency_remaining.clear();
+        rs.currency_spent.clear();
+        rs.currency_charged.clear();
     }
+    rs.result = SimResult{};
 
     SimResult& result = rs.result;
     result.finish_times_s.reserve(jobs.size());
+
+    const auto push_event = [&rs](Event e) {
+        rs.events.push_back(e);
+        std::push_heap(rs.events.begin(), rs.events.end(), std::greater<>{});
+    };
 
     // Scheduling context shared by every routing decision: the per-cluster
     // views are refreshed before each submit; the span stays valid because
@@ -295,15 +516,15 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
     for (const auto& job : jobs) {
         const double submit = job.submit_s / options.arrival_compression;
         ctx.trace_span_s = std::max(ctx.trace_span_s, submit);
-        rs.events.push(Event{submit, EventType::Submit, job.id, 0});
+        push_event(Event{submit, EventType::Submit, job.id, 0});
     }
     if (options.outage.has_value()) {
         GA_REQUIRE(options.outage->cluster < n_clusters,
                    "simulator: outage cluster index out of range");
         GA_REQUIRE(options.outage->nodes_lost >= 0,
                    "simulator: outage cannot add nodes");
-        rs.events.push(Event{options.outage->at_s, EventType::Outage, 0,
-                             static_cast<std::uint32_t>(options.outage->cluster)});
+        push_event(Event{options.outage->at_s, EventType::Outage, 0,
+                         static_cast<std::uint32_t>(options.outage->cluster)});
     }
 
     auto job_usage = [&](std::uint32_t j, std::size_t c,
@@ -321,40 +542,37 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
         const double runtime = pred_runtime_[j * n_clusters + c];
         ClusterState& cs = rs.cluster[c];
         cs.free_cores -= jobs[j].cores;
-        cs.users_running.insert(jobs[j].user);
+        rs.user_running[c * n_users_ + jobs[j].user] = 1;
         cs.sum_cores_end += static_cast<double>(jobs[j].cores) * (now + runtime);
         cs.running_cores += static_cast<double>(jobs[j].cores);
         rs.start_time[j] = now;
-        rs.events.push(Event{now + runtime, EventType::Finish, j,
-                             static_cast<std::uint32_t>(c)});
+        push_event(Event{now + runtime, EventType::Finish, j,
+                         static_cast<std::uint32_t>(c)});
     };
 
     // Tries to start queued jobs on cluster c (FIFO with skip-ahead past
-    // jobs blocked by the one-job-per-user rule or core shortage). The
-    // skip-ahead window is bounded like a real scheduler's backfill depth,
-    // which also bounds the per-event cost on deep queues.
-    constexpr std::size_t kBackfillDepth = 256;
+    // jobs blocked by the one-job-per-user rule or core shortage, bounded
+    // by kBackfillDepth like a real scheduler's backfill depth).
     auto drain_queue = [&](std::size_t c, double now) {
         ClusterState& cs = rs.cluster[c];
-        std::size_t scanned = 0;
-        for (auto it = cs.queue.begin();
-             it != cs.queue.end() && scanned < kBackfillDepth; ++scanned) {
-            const std::uint32_t j = *it;
-            if (jobs[j].cores <= cs.free_cores &&
-                cs.users_running.find(jobs[j].user) == cs.users_running.end()) {
-                cs.queued_core_seconds -= static_cast<double>(jobs[j].cores) *
-                                          pred_runtime_[j * n_clusters + c];
-                it = cs.queue.erase(it);
-                start_job(j, c, now);
-            } else {
-                ++it;
-            }
-        }
+        rs.queues.drain(
+            c, cs, [&](std::uint32_t j, int cores, std::uint32_t user) {
+                if (cores <= cs.free_cores &&
+                    rs.user_running[c * n_users_ + user] == 0) {
+                    cs.queued_core_seconds -=
+                        static_cast<double>(cores) *
+                        pred_runtime_[j * n_clusters + c];
+                    start_job(j, c, now);
+                    return true;
+                }
+                return false;
+            });
     };
 
     while (!rs.events.empty()) {
-        const Event ev = rs.events.top();
-        rs.events.pop();
+        std::pop_heap(rs.events.begin(), rs.events.end(), std::greater<>{});
+        const Event ev = rs.events.back();
+        rs.events.pop_back();
         const double now = ev.time;
 
         if (ev.type == EventType::Finish) {
@@ -362,7 +580,7 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
             const std::uint32_t j = ev.job;
             ClusterState& cs = rs.cluster[c];
             cs.free_cores += jobs[j].cores;
-            cs.users_running.erase(jobs[j].user);
+            rs.user_running[c * n_users_ + jobs[j].user] = 0;
             cs.sum_cores_end -= static_cast<double>(jobs[j].cores) * now;
             // `now` equals start + runtime, so subtracting cores*now removes
             // exactly the cores*end contribution.
@@ -401,26 +619,22 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
             cs.free_cores -= lost;
             // Queued jobs that no longer fit the shrunken cluster are
             // refunded and counted as skipped.
-            for (auto it = cs.queue.begin(); it != cs.queue.end();) {
-                const std::uint32_t j = *it;
-                if (jobs[j].cores > cs.capacity) {
-                    cs.queued_core_seconds -=
-                        static_cast<double>(jobs[j].cores) *
-                        pred_runtime_[j * n_clusters + c];
-                    rs.budget_remaining += rs.charged[j];
-                    result.total_cost -= rs.charged[j];
-                    for (std::size_t k = 0; k < n_currencies; ++k) {
-                        rs.currency_remaining[k] +=
-                            rs.currency_charged[j * n_currencies + k];
-                        rs.currency_spent[k] -=
-                            rs.currency_charged[j * n_currencies + k];
-                    }
-                    ++result.jobs_skipped;
-                    it = cs.queue.erase(it);
-                } else {
-                    ++it;
+            rs.queues.remove_if(c, [&](std::uint32_t j, int cores) {
+                if (cores <= cs.capacity) return false;
+                cs.queued_core_seconds -=
+                    static_cast<double>(jobs[j].cores) *
+                    pred_runtime_[j * n_clusters + c];
+                rs.budget_remaining += rs.charged[j];
+                result.total_cost -= rs.charged[j];
+                for (std::size_t k = 0; k < n_currencies; ++k) {
+                    rs.currency_remaining[k] +=
+                        rs.currency_charged[j * n_currencies + k];
+                    rs.currency_spent[k] -=
+                        rs.currency_charged[j * n_currencies + k];
                 }
-            }
+                ++result.jobs_skipped;
+                return true;
+            });
             continue;
         }
 
@@ -434,7 +648,7 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
             view.name = clusters_[c].entry.node.name;
             view.capacity_cores = state.capacity;
             view.free_cores = state.free_cores;
-            view.queue_depth = state.queue.size();
+            view.queue_depth = rs.queues.depth(c);
             view.queue_wait_s = wait;
             if (fill_grid_intensity) {
                 view.grid_intensity_g_per_kwh =
@@ -503,9 +717,23 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
         // it (or any skip-ahead-eligible queued job) can run, instead of
         // idling cores until the cluster's next finish event.
         ClusterState& cs = rs.cluster[c];
-        cs.queue.push_back(j);
-        cs.queued_core_seconds += static_cast<double>(jobs[j].cores) *
-                                  pred_runtime_[j * n_clusters + c];
+        const double queued_cs = static_cast<double>(jobs[j].cores) *
+                                 pred_runtime_[j * n_clusters + c];
+        if (Queues::kImmediateStart && rs.queues.depth(c) == 0 &&
+            jobs[j].cores <= cs.free_cores &&
+            rs.user_running[c * n_users_ + jobs[j].user] == 0) {
+            // Fast path: the job would be the sole queue entry and the
+            // drain would start it at once, so skip the queue bookkeeping.
+            // The add/subtract pair replays the enqueue+drain arithmetic on
+            // queued_core_seconds, keeping its value (and thus every later
+            // wait estimate) bit-identical to the slow path.
+            cs.queued_core_seconds += queued_cs;
+            cs.queued_core_seconds -= queued_cs;
+            start_job(j, c, now);
+            continue;
+        }
+        rs.queues.push(c, j, jobs[j].cores, jobs[j].user);
+        cs.queued_core_seconds += queued_cs;
         drain_queue(c, now);
     }
 
@@ -519,6 +747,14 @@ SimResult BatchSimulator::run(const SimOptions& options) const {
     }
     std::sort(result.finish_times_s.begin(), result.finish_times_s.end());
     return std::move(rs.result);
+}
+
+SimResult BatchSimulator::run(const SimOptions& options) const {
+    return run_impl<IndexedQueues>(options);
+}
+
+SimResult BatchSimulator::run_reference(const SimOptions& options) const {
+    return run_impl<LinearQueues>(options);
 }
 
 }  // namespace ga::sim

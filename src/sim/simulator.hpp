@@ -133,6 +133,13 @@ public:
 
     [[nodiscard]] SimResult run(const SimOptions& options) const;
 
+    /// The linear-scan executor (the pre-index deque-of-ids queue, every
+    /// scan re-reading the trace array), kept as the bit-identity oracle
+    /// for `run` and as the baseline the bench harness measures the indexed
+    /// queue against. Same contract and thread-safety as `run`;
+    /// byte-identical results on every input.
+    [[nodiscard]] SimResult run_reference(const SimOptions& options) const;
+
     [[nodiscard]] const std::vector<ClusterConfig>& clusters() const noexcept {
         return clusters_;
     }
@@ -144,6 +151,11 @@ public:
     [[nodiscard]] double job_work_core_hours(std::size_t job_index) const;
 
 private:
+    /// The event loop, parameterized on the ready-queue structure (the
+    /// indexed fast path or the linear reference; both live in the .cpp).
+    template <typename Queues>
+    [[nodiscard]] SimResult run_impl(const SimOptions& options) const;
+
     ga::workload::Workload workload_;
     std::vector<ClusterConfig> clusters_;
     // Per-job, per-cluster predictions, precomputed once (KNN results are
@@ -152,6 +164,8 @@ private:
     std::vector<double> pred_runtime_;
     std::vector<double> pred_power_;
     std::vector<double> work_;  ///< per-job machine-averaged core-hours
+    std::size_t n_users_ = 0;   ///< max trace user id + 1 (flat-array sizing)
+    int max_job_cores_ = 1;     ///< largest core demand (queue bucket sizing)
 };
 
 }  // namespace ga::sim

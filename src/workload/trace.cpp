@@ -10,6 +10,103 @@
 
 namespace ga::workload {
 
+std::string_view to_string(ArrivalProcess arrival) noexcept {
+    switch (arrival) {
+        case ArrivalProcess::Uniform: return "uniform";
+        case ArrivalProcess::Diurnal: return "diurnal";
+    }
+    return "uniform";
+}
+
+std::optional<ArrivalProcess> arrival_from_string(
+    std::string_view name) noexcept {
+    if (name == "uniform") return ArrivalProcess::Uniform;
+    if (name == "diurnal") return ArrivalProcess::Diurnal;
+    return std::nullopt;
+}
+
+namespace {
+
+/// Inversion sampler for the bursty diurnal arrival process.
+///
+/// The base rate is piecewise-constant per hour over the span: a cosine
+/// day/night cycle peaking at `diurnal_peak_hour` (depth set by
+/// `diurnal_amplitude`) scaled down on weekends (days 5 and 6 of each week)
+/// by `weekend_factor`. On top of the base process, a `burst_fraction` of
+/// jobs attach to shared burst epicenters — epicenter times drawn from the
+/// same diurnal distribution, job offsets exponential with mean
+/// `burst_width_s` — producing the arrival spikes that stress the
+/// simulator's queue index. Sampling is O(log hours) per job.
+class DiurnalSampler {
+public:
+    DiurnalSampler(const TraceOptions& options, double span_s,
+                   ga::util::Rng burst_rng)
+        : span_s_(span_s),
+          burst_fraction_(options.burst_fraction),
+          burst_rate_(1.0 / options.burst_width_s) {
+        const auto hours = static_cast<std::size_t>(std::ceil(span_s / 3600.0));
+        prefix_.reserve(hours);
+        double total = 0.0;
+        constexpr double kTwoPi = 6.283185307179586476925286766559;
+        for (std::size_t h = 0; h < hours; ++h) {
+            const std::size_t day = (h / 24) % 7;
+            const double weekday = day >= 5 ? options.weekend_factor : 1.0;
+            const double cycle =
+                1.0 + options.diurnal_amplitude *
+                          std::cos(kTwoPi *
+                                   (static_cast<double>(h % 24) + 0.5 -
+                                    options.diurnal_peak_hour) /
+                                   24.0);
+            total += weekday * cycle;
+            prefix_.push_back(total);
+        }
+        if (burst_fraction_ > 0.0) {
+            const double expected_bursty =
+                static_cast<double>(options.total_jobs()) * burst_fraction_;
+            const auto n_bursts = static_cast<std::size_t>(std::max(
+                1.0, std::floor(expected_bursty / options.burst_mean_jobs)));
+            epicenters_.reserve(n_bursts);
+            for (std::size_t b = 0; b < n_bursts; ++b) {
+                epicenters_.push_back(sample_base(burst_rng));
+            }
+        }
+    }
+
+    /// One submit time in [0, span]: burst epicenter + offset with
+    /// probability `burst_fraction`, the plain diurnal process otherwise.
+    double sample(ga::util::Rng& rng) const {
+        if (!epicenters_.empty() && rng.bernoulli(burst_fraction_)) {
+            const auto b = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(epicenters_.size()) - 1));
+            return std::min(epicenters_[b] + rng.exponential(burst_rate_),
+                            span_s_);
+        }
+        return sample_base(rng);
+    }
+
+    [[nodiscard]] double span_s() const noexcept { return span_s_; }
+
+private:
+    double sample_base(ga::util::Rng& rng) const {
+        const double u = rng.uniform() * prefix_.back();
+        const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), u);
+        const auto h = static_cast<std::size_t>(
+            std::min<std::ptrdiff_t>(it - prefix_.begin(),
+                                     static_cast<std::ptrdiff_t>(prefix_.size()) - 1));
+        const double lo = h == 0 ? 0.0 : prefix_[h - 1];
+        const double frac = (u - lo) / (prefix_[h] - lo);
+        return std::min((static_cast<double>(h) + frac) * 3600.0, span_s_);
+    }
+
+    double span_s_;
+    double burst_fraction_;
+    double burst_rate_;
+    std::vector<double> prefix_;      ///< cumulative hourly weights
+    std::vector<double> epicenters_;  ///< shared burst centers
+};
+
+}  // namespace
+
 int sample_core_count(ga::util::Rng& rng) {
     // Mix calibrated so P(cores > 16) = 0.17 (the paper's Desktop-excluded
     // fraction).
@@ -47,11 +144,33 @@ std::vector<TraceJob> generate_trace(const TraceOptions& options) {
     GA_REQUIRE(options.repetitions >= 1, "trace: repetitions must be >= 1");
     GA_REQUIRE(options.users >= 1, "trace: need at least one user");
     GA_REQUIRE(options.span_days > 0.0, "trace: span must be positive");
+    GA_REQUIRE(options.diurnal_peak_hour >= 0.0 &&
+                   options.diurnal_peak_hour < 24.0,
+               "trace: diurnal peak hour must be in [0, 24)");
+    GA_REQUIRE(options.diurnal_amplitude >= 0.0 &&
+                   options.diurnal_amplitude < 1.0,
+               "trace: diurnal amplitude must be in [0, 1)");
+    GA_REQUIRE(options.weekend_factor > 0.0 && options.weekend_factor <= 1.0,
+               "trace: weekend factor must be in (0, 1]");
+    GA_REQUIRE(options.burst_fraction >= 0.0 && options.burst_fraction <= 1.0,
+               "trace: burst fraction must be in [0, 1]");
+    GA_REQUIRE(options.burst_width_s > 0.0,
+               "trace: burst width must be positive");
+    GA_REQUIRE(options.burst_mean_jobs >= 1.0,
+               "trace: burst mean jobs must be >= 1");
 
     ga::util::Rng root(options.seed);
     ga::util::Rng app_rng = root.split(1);
     ga::util::Rng assign_rng = root.split(2);
     ga::util::Rng job_rng = root.split(3);
+    // The Uniform path must not touch the sampler (or any new stream), so a
+    // legacy-options trace stays bit-identical to pre-knob generators.
+    const bool diurnal = options.arrival == ArrivalProcess::Diurnal;
+    std::optional<DiurnalSampler> arrivals;
+    if (diurnal) {
+        arrivals.emplace(options, options.span_days * 24.0 * 3600.0,
+                         root.split(4));
+    }
 
     // Per-user app portfolios (2–6 apps each).
     struct UserApps {
@@ -90,7 +209,8 @@ std::vector<TraceJob> generate_trace(const TraceOptions& options) {
         job.user = uid;
         job.app = app_idx;
         job.cores = app.cores;
-        job.submit_s = job_rng.uniform(0.0, span_s);
+        job.submit_s = diurnal ? arrivals->sample(job_rng)
+                               : job_rng.uniform(0.0, span_s);
         job.runtime_ic_s = std::min(
             app.runtime_median_s *
                 std::exp(job_rng.normal(0.0, app.runtime_sigma)),
@@ -104,8 +224,20 @@ std::vector<TraceJob> generate_trace(const TraceOptions& options) {
         for (int rep = 0; rep < options.repetitions; ++rep) {
             TraceJob copy = job;
             if (rep > 0) {
-                // The repetition is a later resubmission of the same app.
-                copy.submit_s = job_rng.uniform(copy.submit_s, span_s);
+                // The repetition is a later resubmission of the same app. In
+                // diurnal mode a fresh arrival draw landing before the first
+                // submission is rescaled into the remaining window, keeping
+                // its relative diurnal position.
+                if (diurnal) {
+                    const double t = arrivals->sample(job_rng);
+                    copy.submit_s =
+                        t >= job.submit_s
+                            ? t
+                            : job.submit_s +
+                                  (span_s - job.submit_s) * (t / span_s);
+                } else {
+                    copy.submit_s = job_rng.uniform(copy.submit_s, span_s);
+                }
             }
             jobs.push_back(copy);
         }

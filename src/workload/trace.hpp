@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -48,7 +50,29 @@ struct TraceJob {
     }
 };
 
+/// Arrival-time process for the generated trace.
+enum class ArrivalProcess {
+    /// Legacy paper mode: submissions uniform over the span. The default —
+    /// traces generated with it are bit-identical to pre-knob traces.
+    Uniform,
+    /// Datacenter-scale mode: a day/night submission cycle with a weekday/
+    /// weekend split, plus arrival bursts (many jobs landing within seconds
+    /// of a shared epicenter). This is the bursty diurnal load that stresses
+    /// the simulator's queue index at millions of jobs.
+    Diurnal,
+};
+
+/// Name of an arrival process ("uniform", "diurnal") for the scenario schema.
+[[nodiscard]] std::string_view to_string(ArrivalProcess arrival) noexcept;
+
+/// Inverse of `to_string`; nullopt for unknown names.
+[[nodiscard]] std::optional<ArrivalProcess> arrival_from_string(
+    std::string_view name) noexcept;
+
 /// Generator configuration (defaults reproduce the paper's workload scale).
+/// Datacenter-scale traces raise `base_jobs`/`users` (millions of jobs, tens
+/// of thousands of users) and switch `arrival` to Diurnal; generation stays
+/// O(jobs) and deterministic in the options.
 struct TraceOptions {
     std::size_t base_jobs = 71'190;  ///< before repetition
     int repetitions = 2;             ///< paper repeats every execution twice
@@ -56,10 +80,21 @@ struct TraceOptions {
     double span_days = 12.0;         ///< submission window
     std::uint64_t seed = 20'23;
 
+    ArrivalProcess arrival = ArrivalProcess::Uniform;
+    // Diurnal-mode knobs (ignored under Uniform):
+    double diurnal_peak_hour = 14.0;  ///< local time of the daily peak, [0,24)
+    double diurnal_amplitude = 0.75;  ///< 0 = flat day, ->1 = silent troughs
+    double weekend_factor = 0.35;     ///< weekend rate multiplier, (0,1]
+    double burst_fraction = 0.15;     ///< fraction of jobs arriving in bursts
+    double burst_width_s = 120.0;     ///< mean offset from a burst epicenter
+    double burst_mean_jobs = 50.0;    ///< target jobs per burst epicenter
+
     /// Total jobs produced.
     [[nodiscard]] std::size_t total_jobs() const noexcept {
         return base_jobs * static_cast<std::size_t>(repetitions);
     }
+
+    friend bool operator==(const TraceOptions&, const TraceOptions&) = default;
 };
 
 /// Application archetype: the latent execution profile shared by all

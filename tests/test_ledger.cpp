@@ -6,7 +6,11 @@
 // charges from N threads summing exactly).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -382,6 +386,102 @@ TEST(LedgerConcurrency, ConcurrentMultiCurrencyChargesStayAllOrNothing) {
     // Two transactions per admitted job, none for refused ones.
     EXPECT_EQ(ledger.history().size(),
               static_cast<std::size_t>(2 * kAdmittable));
+}
+
+TEST(LedgerConcurrency, MixedTrafficSweepAcrossThreadCounts) {
+    // Stress sweep from 1 thread up through the hardware concurrency (and
+    // past it, to force preemption-interleaved critical sections): each
+    // worker drives its own account with mixed traffic — unit charges,
+    // refunds of every third admitted charge, refusals once the budget
+    // runs dry — while a reader thread hammers the balance and audit-trail
+    // accessors. Unit costs are exact in a double, so every final balance
+    // must sum exactly; any lost update, double refund, or torn read shows
+    // up as an off-by-one in spent/remaining/history.
+    std::vector<unsigned> ladder = {1, 2, 4, 8};
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    if (std::find(ladder.begin(), ladder.end(), hw) == ladder.end()) {
+        ladder.push_back(hw);
+        std::sort(ladder.begin(), ladder.end());
+    }
+
+    const ac::RuntimeAccounting runtime;
+    const auto& m = mc::find(mc::CatalogId::Desktop);
+    constexpr int kOps = 150;
+    constexpr double kBudget = 100.0;  // < kOps, so refusals happen
+
+    for (const unsigned threads : ladder) {
+        ac::Ledger ledger;
+        for (unsigned t = 0; t < threads; ++t) {
+            ledger.create_account("u" + std::to_string(t), kBudget);
+        }
+
+        std::vector<std::size_t> kept(threads, 0);
+        std::vector<std::size_t> refunded(threads, 0);
+        std::atomic<bool> done{false};
+
+        // Concurrent readers: balances and the audit trail must stay
+        // readable (and internally consistent) mid-traffic.
+        std::thread reader([&] {
+            while (!done.load(std::memory_order_relaxed)) {
+                const double spent = ledger.spent("u0");
+                const double remaining = ledger.remaining("u0");
+                EXPECT_GE(spent, 0.0);
+                EXPECT_GE(remaining, 0.0);
+                EXPECT_LE(spent, kBudget);
+                (void)ledger.history();
+                std::this_thread::yield();
+            }
+        });
+
+        std::vector<std::thread> workers;
+        for (unsigned t = 0; t < threads; ++t) {
+            workers.emplace_back([&, t] {
+                const std::string user = "u" + std::to_string(t);
+                for (int i = 0; i < kOps; ++i) {
+                    const double cost = ledger.charge(
+                        user, runtime, cpu_job(3600.0, 1.0, 1), m);
+                    if (cost < 0.0) continue;  // refused: budget exhausted
+                    if (i % 3 == 2) {
+                        // Refund the charge just made. This worker is the
+                        // only writer for `user`, so the newest transaction
+                        // bearing this user is that charge.
+                        const auto history = ledger.history();
+                        std::uint64_t tx = 0;
+                        for (auto it = history.rbegin();
+                             it != history.rend(); ++it) {
+                            if (it->user == user) {
+                                tx = it->id;
+                                break;
+                            }
+                        }
+                        (void)ledger.refund(user, tx);
+                        ++refunded[t];
+                    } else {
+                        ++kept[t];
+                    }
+                }
+            });
+        }
+        for (auto& w : workers) w.join();
+        done.store(true, std::memory_order_relaxed);
+        reader.join();
+
+        std::size_t expected_history = 0;
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::string user = "u" + std::to_string(t);
+            const auto net = static_cast<double>(kept[t]);
+            // Exact sums: every charge is 1.0, every refund -1.0.
+            EXPECT_DOUBLE_EQ(ledger.spent(user), net)
+                << threads << " threads, user " << user;
+            EXPECT_DOUBLE_EQ(ledger.remaining(user), kBudget - net);
+            EXPECT_DOUBLE_EQ(ledger.total_cost(user), net);
+            EXPECT_LE(net, kBudget);
+            // One entry per admitted charge, one per refund.
+            expected_history += kept[t] + 2 * refunded[t];
+        }
+        EXPECT_EQ(ledger.history().size(), expected_history)
+            << threads << " threads";
+    }
 }
 
 }  // namespace

@@ -287,6 +287,44 @@ TEST(Scenario, CanonicalJsonRoundTripsExactly) {
               ga::io::write_json(canonical));
 }
 
+TEST(Scenario, ArrivalProcessKnobsRoundTripExactly) {
+    const auto original = from_text(R"json({
+      "name": "diurnal-knobs",
+      "workload": {
+        "base_jobs": 500, "users": 20, "span_days": 9.5, "seed": 31,
+        "arrival": "diurnal",
+        "diurnal_peak_hour": 9.25,
+        "diurnal_amplitude": 0.85,
+        "weekend_factor": 0.4,
+        "burst_fraction": 0.3,
+        "burst_width_s": 90.5,
+        "burst_mean_jobs": 25
+      }
+    })json");
+    EXPECT_EQ(original.workload.arrival,
+              ga::workload::ArrivalProcess::Diurnal);
+    EXPECT_EQ(original.workload.diurnal_peak_hour, 9.25);
+    EXPECT_EQ(original.workload.diurnal_amplitude, 0.85);
+    EXPECT_EQ(original.workload.weekend_factor, 0.4);
+    EXPECT_EQ(original.workload.burst_fraction, 0.3);
+    EXPECT_EQ(original.workload.burst_width_s, 90.5);
+    EXPECT_EQ(original.workload.burst_mean_jobs, 25.0);
+
+    // Canonical serialization preserves every knob bit-exactly
+    // (TraceOptions compares field-for-field).
+    const auto reloaded = scenario_from_json(scenario_to_json(original));
+    EXPECT_EQ(reloaded.workload, original.workload);
+    EXPECT_EQ(ga::io::write_json(scenario_to_json(reloaded)),
+              ga::io::write_json(scenario_to_json(original)));
+
+    // Default arrival stays uniform, knobs at their documented defaults.
+    const auto plain = from_text(
+        R"json({"name": "plain", "workload": {"base_jobs": 10}})json");
+    EXPECT_EQ(plain.workload.arrival, ga::workload::ArrivalProcess::Uniform);
+    EXPECT_EQ(plain.workload.diurnal_peak_hour, 14.0);
+    EXPECT_EQ(plain.workload.burst_fraction, 0.15);
+}
+
 TEST(Results, JsonRoundTripsBitExactly) {
     ga::sim::SweepOutcome outcome;
     outcome.spec.label = "Greedy/EBA/with, a \"comma\"";

@@ -2,8 +2,10 @@
 // and the KNN cross-platform predictor.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <map>
+#include <vector>
 
 #include "util/error.hpp"
 #include "workload/counters.hpp"
@@ -199,6 +201,173 @@ TEST(Workload, BuildAndExtrapolate) {
     const auto ic = w.predictor->machine_index("IC");
     EXPECT_NEAR(per_machine[ic].runtime_s, w.jobs.front().runtime_ic_s, 1e-9);
     EXPECT_NEAR(per_machine[ic].energy_j(), w.jobs.front().energy_ic_j(), 1e-6);
+}
+
+// ------------------------------------------------------- diurnal arrivals
+wl::TraceOptions diurnal_options() {
+    auto o = small_options();
+    o.base_jobs = 10'000;
+    o.users = 200;
+    o.span_days = 14.0;  // two full weeks: weekends are represented
+    o.arrival = wl::ArrivalProcess::Diurnal;
+    return o;
+}
+
+/// Jobs-per-hour-of-day histogram (24 buckets), normalized to a fraction.
+std::array<double, 24> hour_histogram(const std::vector<wl::TraceJob>& jobs) {
+    std::array<double, 24> h{};
+    for (const auto& j : jobs) {
+        const auto hour = static_cast<std::size_t>(
+                              std::fmod(j.submit_s, 86'400.0) / 3'600.0) %
+                          24;
+        h[hour] += 1.0;
+    }
+    for (auto& v : h) v /= static_cast<double>(jobs.size());
+    return h;
+}
+
+TEST(TraceDiurnal, DeterministicInTheOptionsAndSeedSensitive) {
+    const auto a = wl::generate_trace(diurnal_options());
+    const auto b = wl::generate_trace(diurnal_options());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].submit_s, b[i].submit_s);
+        EXPECT_EQ(a[i].user, b[i].user);
+        EXPECT_EQ(a[i].runtime_ic_s, b[i].runtime_ic_s);
+    }
+
+    auto reseeded = diurnal_options();
+    reseeded.seed += 1;
+    const auto c = wl::generate_trace(reseeded);
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        diffs += a[i].submit_s != c[i].submit_s ? 1 : 0;
+    }
+    EXPECT_GT(diffs, a.size() / 2);
+}
+
+TEST(TraceDiurnal, UniformPathIgnoresDiurnalKnobs) {
+    // The Uniform arrival process must consume the RNG exactly as before
+    // the diurnal mode existed: knob values cannot leak into it.
+    auto plain = small_options();
+    auto knobbed = small_options();
+    knobbed.diurnal_peak_hour = 3.0;
+    knobbed.diurnal_amplitude = 0.95;
+    knobbed.weekend_factor = 0.05;
+    knobbed.burst_fraction = 0.9;
+    const auto a = wl::generate_trace(plain);
+    const auto b = wl::generate_trace(knobbed);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].submit_s, b[i].submit_s);
+        EXPECT_EQ(a[i].runtime_ic_s, b[i].runtime_ic_s);
+    }
+}
+
+TEST(TraceDiurnal, DayNightContrastFollowsTheAmplitude) {
+    // With a deep amplitude, the 6 hours around the peak must carry several
+    // times the mass of the 6 hours around the trough.
+    auto o = diurnal_options();
+    o.diurnal_peak_hour = 14.0;
+    o.diurnal_amplitude = 0.9;
+    o.burst_fraction = 0.0;  // isolate the base process
+    const auto h = hour_histogram(wl::generate_trace(o));
+    double peak = 0.0;
+    double trough = 0.0;
+    for (int d = -3; d < 3; ++d) {
+        peak += h[static_cast<std::size_t>((14 + d + 24) % 24)];
+        trough += h[static_cast<std::size_t>((2 + d + 24) % 24)];
+    }
+    EXPECT_GT(peak, 3.0 * trough);
+
+    // Near-flat amplitude: the same windows are close to equal mass.
+    o.diurnal_amplitude = 0.01;
+    const auto flat = hour_histogram(wl::generate_trace(o));
+    double flat_peak = 0.0;
+    double flat_trough = 0.0;
+    for (int d = -3; d < 3; ++d) {
+        flat_peak += flat[static_cast<std::size_t>((14 + d + 24) % 24)];
+        flat_trough += flat[static_cast<std::size_t>((2 + d + 24) % 24)];
+    }
+    EXPECT_LT(flat_peak, 1.5 * flat_trough);
+}
+
+TEST(TraceDiurnal, WeekendsCarryLessTraffic) {
+    auto o = diurnal_options();
+    o.weekend_factor = 0.2;
+    o.burst_fraction = 0.0;
+    double weekday_jobs = 0.0;
+    double weekend_jobs = 0.0;
+    for (const auto& j : wl::generate_trace(o)) {
+        const auto day =
+            static_cast<std::size_t>(j.submit_s / 86'400.0) % 7;
+        (day >= 5 ? weekend_jobs : weekday_jobs) += 1.0;
+    }
+    // 5 weekdays vs 2 weekend days at 0.2x: per-day weekend rate must be
+    // well below the weekday rate (ratio 0.2 in expectation; assert < 0.5
+    // to stay far from sampling noise).
+    EXPECT_LT(weekend_jobs / 2.0, 0.5 * (weekday_jobs / 5.0));
+}
+
+TEST(TraceDiurnal, BurstsConcentrateArrivals) {
+    // Burstiness shows up as dispersion of per-10-minute bin counts: the
+    // variance-to-mean ratio of a Poisson-like smooth process is ~1, while
+    // burst epicenters push it far above.
+    const auto dispersion = [](const std::vector<wl::TraceJob>& jobs,
+                               double span_s) {
+        const auto bins = static_cast<std::size_t>(span_s / 600.0) + 1;
+        std::vector<double> counts(bins, 0.0);
+        for (const auto& j : jobs) {
+            counts[static_cast<std::size_t>(j.submit_s / 600.0)] += 1.0;
+        }
+        double mean = 0.0;
+        for (const double c : counts) mean += c;
+        mean /= static_cast<double>(bins);
+        double var = 0.0;
+        for (const double c : counts) var += (c - mean) * (c - mean);
+        var /= static_cast<double>(bins);
+        return var / mean;
+    };
+
+    auto smooth = diurnal_options();
+    smooth.burst_fraction = 0.0;
+    auto bursty = diurnal_options();
+    bursty.burst_fraction = 0.5;
+    const double span_s = smooth.span_days * 86'400.0;
+    const double d_smooth = dispersion(wl::generate_trace(smooth), span_s);
+    const double d_bursty = dispersion(wl::generate_trace(bursty), span_s);
+    EXPECT_GT(d_bursty, 2.0 * d_smooth);
+}
+
+TEST(TraceDiurnal, SubmitsStayInsideTheSpanSortedAndDense) {
+    const auto o = diurnal_options();
+    const auto jobs = wl::generate_trace(o);
+    EXPECT_EQ(jobs.size(), o.total_jobs());
+    const double span_s = o.span_days * 86'400.0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].id, i);
+        EXPECT_GE(jobs[i].submit_s, 0.0);
+        EXPECT_LT(jobs[i].submit_s, span_s);
+        if (i > 0) EXPECT_LE(jobs[i - 1].submit_s, jobs[i].submit_s);
+    }
+}
+
+TEST(TraceDiurnal, KnobDomainsAreValidated) {
+    const auto expect_rejected = [](auto&& mutate) {
+        auto o = wl::TraceOptions{};
+        o.base_jobs = 10;
+        o.arrival = wl::ArrivalProcess::Diurnal;
+        mutate(o);
+        EXPECT_THROW((void)wl::generate_trace(o),
+                     ga::util::PreconditionError);
+    };
+    expect_rejected([](wl::TraceOptions& o) { o.diurnal_peak_hour = 24.0; });
+    expect_rejected([](wl::TraceOptions& o) { o.diurnal_peak_hour = -0.1; });
+    expect_rejected([](wl::TraceOptions& o) { o.diurnal_amplitude = 1.0; });
+    expect_rejected([](wl::TraceOptions& o) { o.weekend_factor = 0.0; });
+    expect_rejected([](wl::TraceOptions& o) { o.burst_fraction = 1.01; });
+    expect_rejected([](wl::TraceOptions& o) { o.burst_width_s = 0.0; });
+    expect_rejected([](wl::TraceOptions& o) { o.burst_mean_jobs = 0.5; });
 }
 
 }  // namespace

@@ -1,0 +1,465 @@
+// ga-bench — repeatable performance harness for the simulator hot path.
+//
+// Measures three throughput figures over a generated trace:
+//
+//   * generator  — trace synthesis (jobs/sec),
+//   * simulate   — one full `BatchSimulator::run` (jobs/sec), optionally
+//                  alongside `run_reference` for the indexed-vs-linear
+//                  speedup,
+//   * sweep      — grid execution through `SweepRunner` at a ladder of
+//                  thread counts (points/sec each).
+//
+// Results merge into a trajectory file (default BENCH_sim.json) under a
+// named entry, so the committed file accumulates comparable points over
+// time ("smoke" for CI, "scale_1m" for the datacenter-scale run). The
+// schema is stable ("ga-bench/v1"); `--validate` checks a file against it
+// and `--baseline` fails the run when throughput regresses beyond
+// `--max-regress` against the same-named committed entry — the CI
+// perf-smoke contract.
+//
+// Timings are wall-clock (best of `--repeats`); everything else in the
+// entry (job counts, configs) is deterministic.
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/json.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+constexpr std::string_view kSchema = "ga-bench/v1";
+
+constexpr std::string_view kUsage =
+    R"USAGE(usage: ga-bench [options]
+
+Benchmarks trace generation, the simulator hot path (optionally against the
+linear reference executor), and the thread-parallel sweep engine, merging
+the measurements into a trajectory file under a named entry.
+
+options:
+  --entry NAME       trajectory entry to write (default "smoke")
+  --base-jobs N      generator base jobs before repetition (default 30000)
+  --repetitions N    trace repetitions (default 2)
+  --users N          trace users (default 500)
+  --span-days X      trace span in days (default 7)
+  --seed N           trace seed (default 2023)
+  --arrival MODE     arrival process: uniform | diurnal (default diurnal)
+  --threads-max N    top of the sweep thread ladder (default 0 = hardware)
+  --sweep-points N   grid points per sweep measurement (default 8)
+  --repeats N        timing repeats, best taken (default 3)
+  --reference        also time run_reference and record the speedup
+  --output FILE      trajectory file to merge into (default BENCH_sim.json)
+  --baseline FILE    compare against FILE's same-named entry after measuring
+  --max-regress X    max tolerated jobs/sec drop vs baseline (default 0.30)
+  --validate FILE    validate FILE against the ga-bench/v1 schema and exit
+  --help             show this message
+)USAGE";
+
+struct CliOptions {
+    std::string entry = "smoke";
+    std::size_t base_jobs = 30'000;
+    int repetitions = 2;
+    std::size_t users = 500;
+    double span_days = 7.0;
+    std::uint64_t seed = 2023;
+    std::string arrival = "diurnal";
+    std::size_t threads_max = 0;
+    std::size_t sweep_points = 8;
+    std::size_t repeats = 3;
+    bool reference = false;
+    std::string output_path = "BENCH_sim.json";
+    std::optional<std::string> baseline_path;
+    double max_regress = 0.30;
+    std::optional<std::string> validate_path;
+};
+
+[[noreturn]] void fail_usage(const std::string& message) {
+    std::fprintf(stderr, "ga-bench: %s\n\n%s", message.c_str(),
+                 std::string(kUsage).c_str());
+    std::exit(2);
+}
+
+std::string next_arg(int argc, char** argv, int& i, std::string_view flag) {
+    if (i + 1 >= argc) {
+        fail_usage(std::string(flag) + " requires an argument");
+    }
+    return argv[++i];
+}
+
+template <typename T>
+T parse_number(const std::string& value, std::string_view flag) {
+    T parsed{};
+    const auto [end, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc{} || end != value.data() + value.size() ||
+        value.empty()) {
+        fail_usage(std::string(flag) + " expects a number, got '" + value +
+                   "'");
+    }
+    return parsed;
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+    CliOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(std::string(kUsage).c_str(), stdout);
+            std::exit(0);
+        } else if (arg == "--entry") {
+            options.entry = next_arg(argc, argv, i, arg);
+            if (options.entry.empty()) fail_usage("--entry must not be empty");
+        } else if (arg == "--base-jobs") {
+            options.base_jobs = parse_number<std::size_t>(
+                next_arg(argc, argv, i, arg), arg);
+            if (options.base_jobs == 0) fail_usage("--base-jobs must be >= 1");
+        } else if (arg == "--repetitions") {
+            options.repetitions =
+                parse_number<int>(next_arg(argc, argv, i, arg), arg);
+            if (options.repetitions < 1) {
+                fail_usage("--repetitions must be >= 1");
+            }
+        } else if (arg == "--users") {
+            options.users = parse_number<std::size_t>(
+                next_arg(argc, argv, i, arg), arg);
+            if (options.users == 0) fail_usage("--users must be >= 1");
+        } else if (arg == "--span-days") {
+            options.span_days =
+                parse_number<double>(next_arg(argc, argv, i, arg), arg);
+            if (!(options.span_days > 0.0)) {
+                fail_usage("--span-days must be > 0");
+            }
+        } else if (arg == "--seed") {
+            options.seed = parse_number<std::uint64_t>(
+                next_arg(argc, argv, i, arg), arg);
+        } else if (arg == "--arrival") {
+            options.arrival = next_arg(argc, argv, i, arg);
+            if (!ga::workload::arrival_from_string(options.arrival)) {
+                fail_usage("--arrival expects 'uniform' or 'diurnal', got '" +
+                           options.arrival + "'");
+            }
+        } else if (arg == "--threads-max") {
+            options.threads_max = parse_number<std::size_t>(
+                next_arg(argc, argv, i, arg), arg);
+        } else if (arg == "--sweep-points") {
+            options.sweep_points = parse_number<std::size_t>(
+                next_arg(argc, argv, i, arg), arg);
+            if (options.sweep_points == 0) {
+                fail_usage("--sweep-points must be >= 1");
+            }
+        } else if (arg == "--repeats") {
+            options.repeats = parse_number<std::size_t>(
+                next_arg(argc, argv, i, arg), arg);
+            if (options.repeats == 0) fail_usage("--repeats must be >= 1");
+        } else if (arg == "--reference") {
+            options.reference = true;
+        } else if (arg == "--output") {
+            options.output_path = next_arg(argc, argv, i, arg);
+        } else if (arg == "--baseline") {
+            options.baseline_path = next_arg(argc, argv, i, arg);
+        } else if (arg == "--max-regress") {
+            options.max_regress =
+                parse_number<double>(next_arg(argc, argv, i, arg), arg);
+            if (options.max_regress < 0.0 || options.max_regress >= 1.0) {
+                fail_usage("--max-regress must be in [0, 1)");
+            }
+        } else if (arg == "--validate") {
+            options.validate_path = next_arg(argc, argv, i, arg);
+        } else {
+            fail_usage("unknown argument '" + std::string(arg) + "'");
+        }
+    }
+    return options;
+}
+
+// ---- schema validation -----------------------------------------------------
+
+[[noreturn]] void fail_schema(const std::string& path, const std::string& why) {
+    throw ga::util::RuntimeError("bench file: " + path + ": " + why);
+}
+
+double require_positive(const ga::io::JsonValue& obj, const std::string& path,
+                        std::string_view key) {
+    const auto* v = obj.find(key);
+    if (v == nullptr) fail_schema(path, "missing \"" + std::string(key) + "\"");
+    if (!v->is_number()) {
+        fail_schema(path + "." + std::string(key), "expected number");
+    }
+    if (!(v->as_number() > 0.0)) {
+        fail_schema(path + "." + std::string(key), "expected a positive value");
+    }
+    return v->as_number();
+}
+
+/// Validates a trajectory document against ga-bench/v1. Throws RuntimeError
+/// naming the offending path on the first violation.
+void validate_bench_document(const ga::io::JsonValue& root) {
+    if (!root.is_object()) fail_schema("$", "expected object");
+    const auto* schema = root.find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != kSchema) {
+        fail_schema("schema", "expected \"" + std::string(kSchema) + "\"");
+    }
+    const auto* entries = root.find("entries");
+    if (entries == nullptr || !entries->is_object()) {
+        fail_schema("entries", "expected object");
+    }
+    if (entries->as_object().empty()) {
+        fail_schema("entries", "expected at least one entry");
+    }
+    for (const auto& [name, entry] : entries->as_object()) {
+        const std::string base = "entries." + name;
+        if (!entry.is_object()) fail_schema(base, "expected object");
+        const auto* config = entry.find("config");
+        if (config == nullptr || !config->is_object()) {
+            fail_schema(base + ".config", "expected object");
+        }
+        for (const std::string_view section : {"generator", "simulate"}) {
+            const auto* s = entry.find(section);
+            const std::string spath = base + "." + std::string(section);
+            if (s == nullptr || !s->is_object()) {
+                fail_schema(spath, "expected object");
+            }
+            require_positive(*s, spath, "jobs");
+            require_positive(*s, spath, "seconds");
+            require_positive(*s, spath, "jobs_per_sec");
+        }
+        const auto* sweep = entry.find("sweep");
+        if (sweep == nullptr || !sweep->is_array() ||
+            sweep->as_array().empty()) {
+            fail_schema(base + ".sweep", "expected non-empty array");
+        }
+        for (std::size_t i = 0; i < sweep->as_array().size(); ++i) {
+            const auto& point = sweep->as_array()[i];
+            const std::string ppath =
+                base + ".sweep[" + std::to_string(i) + "]";
+            if (!point.is_object()) fail_schema(ppath, "expected object");
+            require_positive(point, ppath, "threads");
+            require_positive(point, ppath, "points");
+            require_positive(point, ppath, "seconds");
+            require_positive(point, ppath, "points_per_sec");
+        }
+    }
+}
+
+// ---- measurement -----------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/// Best-of-N wall time of `body` (the standard noise floor for a bench on a
+/// shared machine).
+template <typename Body>
+double best_of(std::size_t repeats, Body&& body) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        body();
+        best = std::min(best, seconds_since(start));
+    }
+    return best;
+}
+
+ga::io::JsonValue throughput_section(double jobs, double seconds) {
+    ga::io::JsonValue section{ga::io::JsonValue::Object{}};
+    section.set("jobs", jobs);
+    section.set("seconds", seconds);
+    section.set("jobs_per_sec", jobs / seconds);
+    return section;
+}
+
+ga::io::JsonValue measure_entry(const CliOptions& cli) {
+    ga::workload::TraceOptions trace;
+    trace.base_jobs = cli.base_jobs;
+    trace.repetitions = cli.repetitions;
+    trace.users = cli.users;
+    trace.span_days = cli.span_days;
+    trace.seed = cli.seed;
+    trace.arrival = *ga::workload::arrival_from_string(cli.arrival);
+
+    const auto total_jobs = static_cast<double>(trace.total_jobs());
+    ga::io::JsonValue entry{ga::io::JsonValue::Object{}};
+
+    ga::io::JsonValue config{ga::io::JsonValue::Object{}};
+    config.set("base_jobs", static_cast<double>(trace.base_jobs));
+    config.set("repetitions", trace.repetitions);
+    config.set("users", static_cast<double>(trace.users));
+    config.set("span_days", trace.span_days);
+    config.set("seed", static_cast<double>(trace.seed));
+    config.set("arrival", cli.arrival);
+    config.set("sweep_points", static_cast<double>(cli.sweep_points));
+    config.set("repeats", static_cast<double>(cli.repeats));
+    entry.set("config", std::move(config));
+
+    std::fprintf(stderr, "generator: %zu jobs (%s arrivals)...\n",
+                 trace.total_jobs(), cli.arrival.c_str());
+    const double gen_seconds = best_of(cli.repeats, [&] {
+        volatile std::size_t sink = ga::workload::generate_trace(trace).size();
+        (void)sink;
+    });
+    entry.set("generator", throughput_section(total_jobs, gen_seconds));
+
+    std::fprintf(stderr, "building workload + simulator...\n");
+    const ga::sim::BatchSimulator simulator(
+        ga::workload::build_workload(trace));
+    const ga::sim::SimOptions sim_options;  // unbudgeted Greedy/EBA full run
+
+    std::fprintf(stderr, "simulate: indexed hot path...\n");
+    const double sim_seconds = best_of(cli.repeats, [&] {
+        volatile std::size_t sink = simulator.run(sim_options).jobs_completed;
+        (void)sink;
+    });
+    auto simulate = throughput_section(total_jobs, sim_seconds);
+    if (cli.reference) {
+        std::fprintf(stderr, "simulate: linear reference...\n");
+        const double ref_seconds = best_of(cli.repeats, [&] {
+            volatile std::size_t sink =
+                simulator.run_reference(sim_options).jobs_completed;
+            (void)sink;
+        });
+        simulate.set("reference_seconds", ref_seconds);
+        simulate.set("speedup_vs_reference", ref_seconds / sim_seconds);
+    }
+    entry.set("simulate", std::move(simulate));
+
+    // Sweep ladder: powers of two up to the cap, the cap itself always
+    // included. Every point is a full-trace run (arrival compression within
+    // rounding of 1.0, so the per-point load matches the simulate section).
+    const std::size_t max_threads = cli.threads_max > 0
+                                        ? cli.threads_max
+                                        : ga::util::default_thread_count();
+    std::vector<std::size_t> ladder;
+    for (std::size_t t = 1; t < max_threads; t *= 2) ladder.push_back(t);
+    ladder.push_back(max_threads);
+
+    ga::sim::SweepGrid grid;
+    grid.arrival_compressions.reserve(cli.sweep_points);
+    for (std::size_t i = 0; i < cli.sweep_points; ++i) {
+        grid.arrival_compressions.push_back(
+            1.0 + static_cast<double>(i) * 1e-9);
+    }
+    const auto specs = grid.expand();
+
+    ga::io::JsonValue sweep{ga::io::JsonValue::Array{}};
+    for (const std::size_t threads : ladder) {
+        std::fprintf(stderr, "sweep: %zu points on %zu thread(s)...\n",
+                     specs.size(), threads);
+        ga::sim::SweepRunner runner(simulator, threads);
+        const double sweep_seconds = best_of(cli.repeats, [&] {
+            volatile std::size_t sink = runner.run(specs).size();
+            (void)sink;
+        });
+        ga::io::JsonValue point{ga::io::JsonValue::Object{}};
+        point.set("threads", static_cast<double>(threads));
+        point.set("points", static_cast<double>(specs.size()));
+        point.set("seconds", sweep_seconds);
+        point.set("points_per_sec",
+                  static_cast<double>(specs.size()) / sweep_seconds);
+        sweep.as_array().push_back(std::move(point));
+    }
+    entry.set("sweep", std::move(sweep));
+    return entry;
+}
+
+// ---- trajectory file handling ----------------------------------------------
+
+ga::io::JsonValue load_or_init_trajectory(const std::string& path) {
+    if (std::filesystem::exists(path)) {
+        auto doc = ga::io::load_json_file(path);
+        validate_bench_document(doc);
+        return doc;
+    }
+    ga::io::JsonValue doc{ga::io::JsonValue::Object{}};
+    doc.set("schema", std::string(kSchema));
+    doc.set("entries", ga::io::JsonValue{ga::io::JsonValue::Object{}});
+    return doc;
+}
+
+void write_file(const std::string& path, const std::string& payload) {
+    const std::filesystem::path fs_path(path);
+    if (fs_path.has_parent_path()) {
+        std::filesystem::create_directories(fs_path.parent_path());
+    }
+    std::ofstream out(fs_path, std::ios::binary | std::ios::trunc);
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    if (!out) {
+        throw ga::util::RuntimeError("ga-bench: cannot write '" + path + "'");
+    }
+}
+
+int run(const CliOptions& cli) {
+    if (cli.validate_path.has_value()) {
+        validate_bench_document(ga::io::load_json_file(*cli.validate_path));
+        std::fprintf(stderr, "%s: valid %s document\n",
+                     cli.validate_path->c_str(), std::string(kSchema).c_str());
+        return 0;
+    }
+
+    ga::io::JsonValue entry = measure_entry(cli);
+    const double measured =
+        entry.at("simulate").at("jobs_per_sec").as_number();
+    std::fprintf(stderr, "entry '%s': simulate %.0f jobs/sec\n",
+                 cli.entry.c_str(), measured);
+
+    ga::io::JsonValue doc = load_or_init_trajectory(cli.output_path);
+    // `set` replaces in place, so re-running an entry updates it while
+    // preserving the file's entry order.
+    auto* entries = const_cast<ga::io::JsonValue*>(doc.find("entries"));
+    entries->set(cli.entry, std::move(entry));
+    write_file(cli.output_path, ga::io::write_json(doc));
+    std::fprintf(stderr, "wrote %s\n", cli.output_path.c_str());
+
+    if (cli.baseline_path.has_value()) {
+        const auto baseline = ga::io::load_json_file(*cli.baseline_path);
+        validate_bench_document(baseline);
+        const auto* base_entry = baseline.at("entries").find(cli.entry);
+        if (base_entry == nullptr) {
+            throw ga::util::RuntimeError(
+                "ga-bench: baseline has no entry \"" + cli.entry + "\"");
+        }
+        const double base =
+            base_entry->at("simulate").at("jobs_per_sec").as_number();
+        const double floor = base * (1.0 - cli.max_regress);
+        std::fprintf(stderr,
+                     "baseline %.0f jobs/sec, floor %.0f (max regress %.0f%%)\n",
+                     base, floor, cli.max_regress * 100.0);
+        if (measured < floor) {
+            std::fprintf(stderr,
+                         "ga-bench: REGRESSION: %.0f jobs/sec is below the "
+                         "floor\n",
+                         measured);
+            return 1;
+        }
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const CliOptions cli = parse_cli(argc, argv);
+    try {
+        return run(cli);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "ga-bench: error: %s\n", e.what());
+        return 1;
+    }
+}
