@@ -90,7 +90,7 @@ void AccountantRegistry::register_accountant(std::string name, Factory factory) 
     GA_REQUIRE(!name.empty(), "registry: accountant name must not be empty");
     GA_REQUIRE(factory != nullptr,
                "registry: accountant factory must not be null");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     const auto [it, inserted] =
         factories_.emplace(std::move(name), std::move(factory));
     GA_REQUIRE(inserted,
@@ -98,12 +98,12 @@ void AccountantRegistry::register_accountant(std::string name, Factory factory) 
 }
 
 bool AccountantRegistry::contains(std::string_view name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     return factories_.find(name) != factories_.end();
 }
 
 std::vector<std::string> AccountantRegistry::names() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     std::vector<std::string> out;
     out.reserve(factories_.size());
     for (const auto& [name, factory] : factories_) out.push_back(name);
@@ -114,7 +114,7 @@ std::unique_ptr<const Accountant> AccountantRegistry::make(
     const AccountantSpec& spec) const {
     Factory factory;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const ga::util::LockGuard lock(mutex_);
         const auto it = factories_.find(spec.name);
         if (it == factories_.end()) {
             throw ga::util::RuntimeError("registry: unknown accountant '" +

@@ -46,7 +46,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -55,6 +54,7 @@
 #include "carbon/intensity.hpp"
 #include "carbon/rates.hpp"
 #include "machine/catalog.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ga::acct {
 
@@ -146,8 +146,8 @@ public:
     [[nodiscard]] static AccountantRegistry& global();
 
 private:
-    mutable std::mutex mutex_;
-    std::map<std::string, Factory, std::less<>> factories_;
+    mutable ga::util::Mutex mutex_;
+    std::map<std::string, Factory, std::less<>> factories_ GA_GUARDED_BY(mutex_);
 };
 
 /// The two beyond-paper builtins (Blended, CarbonTax) with default

@@ -35,7 +35,7 @@ void Ledger::define_currency(std::string currency,
                              std::shared_ptr<const Accountant> accountant) {
     GA_REQUIRE(!currency.empty(), "ledger: currency name must not be empty");
     GA_REQUIRE(accountant != nullptr, "ledger: currency accountant required");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     pricers_.insert_or_assign(std::move(currency), std::move(accountant));
 }
 
@@ -46,12 +46,12 @@ void Ledger::define_currency(std::string currency, const AccountantSpec& spec) {
 }
 
 bool Ledger::has_currency(std::string_view currency) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     return pricers_.find(currency) != pricers_.end();
 }
 
 std::vector<std::string> Ledger::currencies() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     std::vector<std::string> out;
     out.reserve(pricers_.size());
     for (const auto& [name, pricer] : pricers_) out.push_back(name);
@@ -70,7 +70,7 @@ void Ledger::create_account(const std::string& user,
         GA_REQUIRE(!currency.empty(), "ledger: currency name must not be empty");
         holdings.emplace(currency, Allocation(budget));
     }
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     if (Account* existing = find_account(user)) {
         existing->holdings = std::move(holdings);
         existing->first_valid_tx = next_id_;
@@ -80,7 +80,7 @@ void Ledger::create_account(const std::string& user,
 }
 
 bool Ledger::has_account(const std::string& user) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     return find_account(user) != nullptr;
 }
 
@@ -135,7 +135,7 @@ Allocation& Ledger::holding_of(Account& account, std::string_view currency) {
 
 std::vector<std::string> Ledger::account_currencies(
     const std::string& user) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     const Account* a = find_account(user);
     if (a == nullptr) throw_unknown_user(user);
     std::vector<std::string> out;
@@ -146,28 +146,28 @@ std::vector<std::string> Ledger::account_currencies(
 
 double Ledger::remaining(const std::string& user,
                          std::string_view currency) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     const Account* a = find_account(user);
     if (a == nullptr) throw_unknown_user(user);
     return holding_of(*a, currency).remaining();
 }
 
 double Ledger::spent(const std::string& user, std::string_view currency) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     const Account* a = find_account(user);
     if (a == nullptr) throw_unknown_user(user);
     return holding_of(*a, currency).spent();
 }
 
 double Ledger::remaining(const std::string& user) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     const Account* a = find_account(user);
     if (a == nullptr) throw_unknown_user(user);
     return sole_holding(*a).remaining();
 }
 
 double Ledger::spent(const std::string& user) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     const Account* a = find_account(user);
     if (a == nullptr) throw_unknown_user(user);
     return sole_holding(*a).spent();
@@ -175,7 +175,7 @@ double Ledger::spent(const std::string& user) const {
 
 void Ledger::grant(const std::string& user, std::string_view currency,
                    double extra) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     Account* a = find_account(user);
     if (a == nullptr) throw_unknown_user(user);
     holding_of(*a, currency).grant(extra);
@@ -203,7 +203,7 @@ double Ledger::charge(const std::string& user, const Accountant& accountant,
                       const JobUsage& usage, const ga::machine::CatalogEntry& m) {
     // Price outside the lock: accountants are immutable and may be slow.
     const double cost = accountant.charge(usage, m);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     Account* a = find_account(user);
     if (a == nullptr) throw_unknown_user(user);
     auto& holding = sole_holding(*a);
@@ -229,7 +229,7 @@ ChargeOutcome Ledger::charge(const std::string& user, const JobUsage& usage,
         std::vector<std::pair<std::string, std::shared_ptr<const Accountant>>>
             pricers;
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const ga::util::LockGuard lock(mutex_);
             const Account* a = find_account(user);
             if (a == nullptr) throw_unknown_user(user);
             pricers.reserve(a->holdings.size());
@@ -255,7 +255,7 @@ ChargeOutcome Ledger::charge(const std::string& user, const JobUsage& usage,
                                         "' quoted a negative cost");
         }
 
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const ga::util::LockGuard lock(mutex_);
         Account* a = find_account(user);
         if (a == nullptr) throw_unknown_user(user);
         if (a->holdings.size() != pricers.size()) continue;  // set changed
@@ -297,7 +297,7 @@ ChargeOutcome Ledger::charge(const std::string& user, const JobUsage& usage,
 
 std::uint64_t Ledger::refund(const std::string& user,
                              std::uint64_t transaction_id) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     Account* a = find_account(user);
     if (a == nullptr) throw_unknown_user(user);
     // history_ is append-only with strictly increasing ids, so the original
@@ -343,13 +343,13 @@ std::uint64_t Ledger::refund(const std::string& user,
 }
 
 std::vector<Transaction> Ledger::history() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     return history_;
 }
 
 double Ledger::total_cost(const std::string& user,
                           std::string_view currency) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     double total = 0.0;
     for (const auto& t : history_) {
         if (t.user == user && t.currency == currency) total += t.cost;
@@ -358,7 +358,7 @@ double Ledger::total_cost(const std::string& user,
 }
 
 double Ledger::total_cost(const std::string& user) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     double total = 0.0;
     for (const auto& t : history_) {
         if (t.user == user) total += t.cost;

@@ -17,13 +17,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
 #include "core/accounting.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ga::acct {
 
@@ -189,8 +189,10 @@ private:
         std::uint64_t first_valid_tx = 1;
     };
 
-    [[nodiscard]] Account* find_account(const std::string& user);
-    [[nodiscard]] const Account* find_account(const std::string& user) const;
+    [[nodiscard]] Account* find_account(const std::string& user)
+        GA_REQUIRES(mutex_);
+    [[nodiscard]] const Account* find_account(const std::string& user) const
+        GA_REQUIRES(mutex_);
 
     /// The sole holding of a single-currency account (locked callers only);
     /// throws RuntimeError for multi-currency accounts.
@@ -206,15 +208,17 @@ private:
 
     Transaction record(const std::string& user, std::string machine,
                        std::string currency, std::string_view unit,
-                       double cost, const JobUsage& usage);
+                       double cost, const JobUsage& usage) GA_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
+    mutable ga::util::Mutex mutex_;
     std::map<std::string, std::shared_ptr<const Accountant>, std::less<>>
-        pricers_;
-    std::vector<Account> accounts_;
-    std::vector<Transaction> history_;  // append-only, ids strictly increasing
-    std::unordered_set<std::uint64_t> refunded_;  // O(1) double-refund check
-    std::uint64_t next_id_ = 1;
+        pricers_ GA_GUARDED_BY(mutex_);
+    std::vector<Account> accounts_ GA_GUARDED_BY(mutex_);
+    /// Append-only, ids strictly increasing.
+    std::vector<Transaction> history_ GA_GUARDED_BY(mutex_);
+    /// O(1) double-refund check.
+    std::unordered_set<std::uint64_t> refunded_ GA_GUARDED_BY(mutex_);
+    std::uint64_t next_id_ GA_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace ga::acct

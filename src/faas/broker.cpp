@@ -8,18 +8,18 @@ namespace ga::faas {
 
 void Broker::create_topic(const std::string& topic, std::size_t partitions) {
     GA_REQUIRE(partitions >= 1, "broker: topic needs at least one partition");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     GA_REQUIRE(topics_.find(topic) == topics_.end(), "broker: topic already exists");
     topics_[topic].partitions.resize(partitions);
 }
 
 bool Broker::has_topic(const std::string& topic) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     return topics_.find(topic) != topics_.end();
 }
 
 std::size_t Broker::partition_count(const std::string& topic) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     return topic_ref(topic).partitions.size();
 }
 
@@ -42,7 +42,7 @@ Broker::Topic& Broker::topic_ref(const std::string& topic) {
 std::pair<std::size_t, std::uint64_t> Broker::produce(const std::string& topic,
                                                       std::string key,
                                                       std::string value) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     Topic& t = topic_ref(topic);
     const std::size_t partition =
         std::hash<std::string>{}(key) % t.partitions.size();
@@ -54,7 +54,7 @@ std::pair<std::size_t, std::uint64_t> Broker::produce(const std::string& topic,
 
 std::uint64_t Broker::produce_to(const std::string& topic, std::size_t partition,
                                  std::string key, std::string value) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     Topic& t = topic_ref(topic);
     GA_REQUIRE(partition < t.partitions.size(), "broker: partition out of range");
     Partition& p = t.partitions[partition];
@@ -65,7 +65,7 @@ std::uint64_t Broker::produce_to(const std::string& topic, std::size_t partition
 
 std::uint64_t Broker::end_offset(const std::string& topic,
                                  std::size_t partition) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     const Topic& t = topic_ref(topic);
     GA_REQUIRE(partition < t.partitions.size(), "broker: partition out of range");
     return t.partitions[partition].log.size();
@@ -75,7 +75,7 @@ std::vector<Message> Broker::consume(const std::string& group,
                                      const std::string& topic,
                                      std::size_t partition,
                                      std::size_t max_messages) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     Topic& t = topic_ref(topic);
     GA_REQUIRE(partition < t.partitions.size(), "broker: partition out of range");
     const Partition& p = t.partitions[partition];
@@ -90,14 +90,14 @@ std::vector<Message> Broker::consume(const std::string& group,
 
 std::uint64_t Broker::committed(const std::string& group, const std::string& topic,
                                 std::size_t partition) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     const auto it = offsets_.find(std::make_tuple(group, topic, partition));
     return it == offsets_.end() ? 0 : it->second;
 }
 
 void Broker::seek(const std::string& group, const std::string& topic,
                   std::size_t partition, std::uint64_t offset) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     const Topic& t = topic_ref(topic);
     GA_REQUIRE(partition < t.partitions.size(), "broker: partition out of range");
     GA_REQUIRE(offset <= t.partitions[partition].log.size(),

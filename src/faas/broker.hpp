@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
+#include <tuple>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace ga::faas {
 
@@ -73,14 +75,16 @@ private:
         std::vector<Partition> partitions;
     };
 
-    [[nodiscard]] const Topic& topic_ref(const std::string& topic) const;
-    [[nodiscard]] Topic& topic_ref(const std::string& topic);
+    [[nodiscard]] const Topic& topic_ref(const std::string& topic) const
+        GA_REQUIRES(mutex_);
+    [[nodiscard]] Topic& topic_ref(const std::string& topic)
+        GA_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::map<std::string, Topic> topics_;
-    // (group, topic, partition) -> next offset to read
+    mutable ga::util::Mutex mutex_;
+    std::map<std::string, Topic> topics_ GA_GUARDED_BY(mutex_);
+    /// (group, topic, partition) -> next offset to read.
     std::map<std::tuple<std::string, std::string, std::size_t>, std::uint64_t>
-        offsets_;
+        offsets_ GA_GUARDED_BY(mutex_);
 };
 
 }  // namespace ga::faas

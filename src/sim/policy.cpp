@@ -289,7 +289,7 @@ std::string PolicySpec::label() const {
 void PolicyRegistry::register_policy(std::string name, Factory factory) {
     GA_REQUIRE(!name.empty(), "registry: policy name must not be empty");
     GA_REQUIRE(factory != nullptr, "registry: policy factory must not be null");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     const auto [it, inserted] =
         factories_.emplace(std::move(name), std::move(factory));
     GA_REQUIRE(inserted,
@@ -297,12 +297,12 @@ void PolicyRegistry::register_policy(std::string name, Factory factory) {
 }
 
 bool PolicyRegistry::contains(std::string_view name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     return factories_.find(name) != factories_.end();
 }
 
 std::vector<std::string> PolicyRegistry::names() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const ga::util::LockGuard lock(mutex_);
     std::vector<std::string> out;
     out.reserve(factories_.size());
     for (const auto& [name, factory] : factories_) out.push_back(name);
@@ -313,7 +313,7 @@ std::unique_ptr<const RoutingPolicy> PolicyRegistry::make(
     const PolicySpec& spec) const {
     Factory factory;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const ga::util::LockGuard lock(mutex_);
         const auto it = factories_.find(spec.name);
         if (it == factories_.end()) {
             throw ga::util::RuntimeError("registry: unknown policy '" +

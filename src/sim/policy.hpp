@@ -40,7 +40,6 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -48,6 +47,7 @@
 #include <vector>
 
 #include "core/accounting.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ga::sim {
 
@@ -183,8 +183,8 @@ public:
     [[nodiscard]] static PolicyRegistry& global();
 
 private:
-    mutable std::mutex mutex_;
-    std::map<std::string, Factory, std::less<>> factories_;
+    mutable ga::util::Mutex mutex_;
+    std::map<std::string, Factory, std::less<>> factories_ GA_GUARDED_BY(mutex_);
 };
 
 /// The three beyond-paper builtins (CarbonAware, LeastLoaded,

@@ -2,9 +2,9 @@
 
 #include <cstdio>
 #include <exception>
-#include <mutex>
 
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ga::sim {
 
@@ -205,7 +205,7 @@ SweepRunner::SweepRunner(const BatchSimulator& simulator, std::size_t threads)
 std::vector<SweepOutcome> SweepRunner::run(
     const std::vector<ScenarioSpec>& specs) {
     std::vector<SweepOutcome> outcomes(specs.size());
-    std::mutex error_mutex;
+    ga::util::Mutex error_mutex;
     std::exception_ptr error;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         pool_.submit([this, &outcomes, &specs, &error_mutex, &error, i] {
@@ -213,7 +213,7 @@ std::vector<SweepOutcome> SweepRunner::run(
                 outcomes[i].spec = specs[i];
                 outcomes[i].result = simulator_->run(specs[i].options);
             } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mutex);
+                const ga::util::LockGuard lock(error_mutex);
                 if (!error) error = std::current_exception();
             }
         });

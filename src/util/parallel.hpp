@@ -1,19 +1,21 @@
 // Minimal threading utilities, standard library only. `ThreadPool` is the
 // persistent worker pool behind the scenario-sweep engine (sim/sweep.hpp);
 // `parallel_for` is the one-shot alternative for fan-outs that don't keep a
-// pool around.
+// pool around. All shared state carries thread-safety annotations
+// (util/thread_annotations.hpp), so clang's -Wthread-safety verifies the
+// locking discipline at compile time.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace ga::util {
 
@@ -45,7 +47,7 @@ public:
 
     ~ThreadPool() {
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const LockGuard lock(mutex_);
             stopping_ = true;
         }
         wake_.notify_all();
@@ -57,7 +59,7 @@ public:
     /// Enqueues one task for execution on some worker.
     void submit(std::function<void()> task) {
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const LockGuard lock(mutex_);
             tasks_.push_back(std::move(task));
             ++pending_;
         }
@@ -66,8 +68,8 @@ public:
 
     /// Blocks until every task submitted so far has run to completion.
     void wait_idle() {
-        std::unique_lock<std::mutex> lock(mutex_);
-        idle_.wait(lock, [this] { return pending_ == 0; });
+        const LockGuard lock(mutex_);
+        while (pending_ != 0) idle_.wait(mutex_);
     }
 
 private:
@@ -75,27 +77,27 @@ private:
         for (;;) {
             std::function<void()> task;
             {
-                std::unique_lock<std::mutex> lock(mutex_);
-                wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+                const LockGuard lock(mutex_);
+                while (!stopping_ && tasks_.empty()) wake_.wait(mutex_);
                 if (tasks_.empty()) return;  // stopping, queue drained
                 task = std::move(tasks_.front());
                 tasks_.pop_front();
             }
             task();
             {
-                const std::lock_guard<std::mutex> lock(mutex_);
+                const LockGuard lock(mutex_);
                 --pending_;
             }
             idle_.notify_all();
         }
     }
 
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    std::condition_variable idle_;
-    std::deque<std::function<void()>> tasks_;
-    std::size_t pending_ = 0;
-    bool stopping_ = false;
+    Mutex mutex_;
+    CondVar wake_;
+    CondVar idle_;
+    std::deque<std::function<void()>> tasks_ GA_GUARDED_BY(mutex_);
+    std::size_t pending_ GA_GUARDED_BY(mutex_) = 0;
+    bool stopping_ GA_GUARDED_BY(mutex_) = false;
     std::vector<std::thread> workers_;
 };
 
@@ -116,7 +118,7 @@ void parallel_for(std::size_t n, std::size_t threads, Body&& body) {
     }
 
     std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
+    Mutex error_mutex;
     std::exception_ptr error;
     const auto run = [&]() noexcept {
         for (;;) {
@@ -125,7 +127,7 @@ void parallel_for(std::size_t n, std::size_t threads, Body&& body) {
             try {
                 body(i);
             } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mutex);
+                const LockGuard lock(error_mutex);
                 if (!error) error = std::current_exception();
                 next.store(n, std::memory_order_relaxed);  // cancel the rest
             }
