@@ -84,11 +84,15 @@ private:
                 tasks_.pop_front();
             }
             task();
+            bool drained = false;
             {
                 const LockGuard lock(mutex_);
-                --pending_;
+                drained = --pending_ == 0;
             }
-            idle_.notify_all();
+            // Only the task that drains the queue wakes waiters: notifying
+            // after every task made each completion a spurious wakeup for
+            // the controlling thread under long batches.
+            if (drained) idle_.notify_all();
         }
     }
 
