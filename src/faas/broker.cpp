@@ -1,10 +1,28 @@
 #include "faas/broker.hpp"
 
-#include <functional>
+#include <cstdint>
 
 #include "util/error.hpp"
 
 namespace ga::faas {
+
+namespace {
+
+/// FNV-1a over the key bytes. Partition assignment is part of the broker's
+/// observable behavior (consumers subscribe per partition), so it must not
+/// depend on the standard library: std::hash<std::string> differs between
+/// libstdc++ and libc++, which would route the same key to different
+/// partitions on different platforms.
+std::uint64_t stable_hash(const std::string& key) noexcept {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const unsigned char c : key) {
+        h ^= c;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+}  // namespace
 
 void Broker::create_topic(const std::string& topic, std::size_t partitions) {
     GA_REQUIRE(partitions >= 1, "broker: topic needs at least one partition");
@@ -45,7 +63,7 @@ std::pair<std::size_t, std::uint64_t> Broker::produce(const std::string& topic,
     const ga::util::LockGuard lock(mutex_);
     Topic& t = topic_ref(topic);
     const std::size_t partition =
-        std::hash<std::string>{}(key) % t.partitions.size();
+        static_cast<std::size_t>(stable_hash(key) % t.partitions.size());
     Partition& p = t.partitions[partition];
     const std::uint64_t offset = p.log.size();
     p.log.push_back(Message{offset, std::move(key), std::move(value)});
