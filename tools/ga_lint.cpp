@@ -1,0 +1,405 @@
+// ga-lint — project-specific determinism and concurrency-contract lint.
+//
+// Enforces the invariants clang and clang-tidy cannot see because they are
+// repository policy, not C++ semantics:
+//
+//   banned-rng    No std::rand/srand, std::random_device, or standard
+//                 library engines (mt19937, ...) in src/. All randomness
+//                 flows through the seeded, bit-reproducible ga::util::Rng
+//                 (util/rng.hpp) so every experiment replays exactly.
+//   wall-clock    No wall-clock or machine-clock reads in src/ —
+//                 time(nullptr), std::chrono::{system,steady,high_resolution}
+//                 _clock, gettimeofday, ... Simulation time is virtual and
+//                 seeded; a clock read is a hidden nondeterministic input.
+//   unordered-io  No unordered containers in src/io/. Serialized output
+//                 (results, scenarios, golden files) must be byte-identical
+//                 across platforms and standard libraries; hash-order
+//                 iteration anywhere near a serializer is how that contract
+//                 dies quietly.
+//   naked-mutex   No std::mutex / std::lock_guard / std::unique_lock /
+//                 std::condition_variable outside util/thread_annotations.hpp.
+//                 Locking goes through the annotated ga::util::Mutex wrappers
+//                 so clang Thread Safety Analysis sees every lock.
+//
+// Matching runs on comment- and string-stripped source, so prose mentioning
+// a banned token never trips a rule. Findings can be suppressed through an
+// allowlist file (`--allowlist`): lines of "<rule> <path-suffix>", '#'
+// comments; each entry documents why the exception is sound.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
+// `--self-test <dir>` runs the tool against seeded fixture files; each
+// fixture's first line declares the expectation
+// (`// ga-lint-expect: <rule>` or `// ga-lint-expect: clean`).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Rule {
+    std::string name;
+    std::regex pattern;
+    /// When non-empty, the rule only applies to paths containing this
+    /// fragment (generic-format path).
+    std::string path_fragment;
+    /// Paths ending in any of these suffixes are exempt (the rule's own
+    /// implementation home).
+    std::vector<std::string> builtin_exempt;
+    std::string message;
+};
+
+const std::vector<Rule>& rules() {
+    static const std::vector<Rule> kRules = {
+        {"banned-rng",
+         std::regex(R"((^|std\s*::\s*|[^:\w])(rand|srand)\s*\(|(^|std\s*::\s*|[^:\w])(random_device|mt19937(_64)?|default_random_engine|minstd_rand0?|knuth_b|ranlux\w+)\b)"),
+         "",
+         {"util/rng.hpp", "util/rng.cpp"},
+         "unseeded/non-reproducible RNG; use the seeded ga::util::Rng"},
+        {"wall-clock",
+         std::regex(R"((^|std\s*::\s*|[^:\w])time\s*\(\s*(nullptr|NULL|0)\s*\)|system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime|\blocaltime\b|\bgmtime\b)"),
+         "",
+         {},
+         "wall-clock read; simulation inputs must be virtual-time/seeded"},
+        {"unordered-io",
+         std::regex(R"(unordered_(map|set|multimap|multiset))"),
+         "/io/",
+         {},
+         "unordered container in the serialization layer; hash-order output "
+         "breaks byte-identical results"},
+        {"naked-mutex",
+         std::regex(R"(std\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|condition_variable(_any)?)\b)"),
+         "",
+         {"util/thread_annotations.hpp"},
+         "raw standard-library lock; use the annotated ga::util::Mutex / "
+         "LockGuard / CondVar (util/thread_annotations.hpp)"},
+    };
+    return kRules;
+}
+
+struct Finding {
+    std::string path;
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+struct AllowEntry {
+    std::string rule;
+    std::string path_suffix;
+};
+
+/// Replaces comments and string/char literals with spaces, preserving
+/// newlines so line numbers survive. Handles //, /* */, "...", '...', and
+/// the R"delim(...)delim" raw-string form.
+std::string strip_comments_and_strings(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    enum class State { Code, Line, Block, Str, Chr, Raw };
+    State state = State::Code;
+    std::string raw_delim;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const char c = in[i];
+        const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+        switch (state) {
+            case State::Code:
+                if (c == '/' && next == '/') {
+                    state = State::Line;
+                    out += "  ";
+                    ++i;
+                } else if (c == '/' && next == '*') {
+                    state = State::Block;
+                    out += "  ";
+                    ++i;
+                } else if (c == 'R' && next == '"' &&
+                           (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                           in[i - 1])) &&
+                                       in[i - 1] != '_'))) {
+                    // R"delim( — capture the delimiter up to '('.
+                    std::size_t j = i + 2;
+                    raw_delim.clear();
+                    while (j < in.size() && in[j] != '(') raw_delim += in[j++];
+                    state = State::Raw;
+                    out.append(j - i + 1, ' ');
+                    i = j;
+                } else if (c == '"') {
+                    state = State::Str;
+                    out += ' ';
+                } else if (c == '\'') {
+                    state = State::Chr;
+                    out += ' ';
+                } else {
+                    out += c;
+                }
+                break;
+            case State::Line:
+                if (c == '\n') {
+                    state = State::Code;
+                    out += '\n';
+                } else {
+                    out += ' ';
+                }
+                break;
+            case State::Block:
+                if (c == '*' && next == '/') {
+                    state = State::Code;
+                    out += "  ";
+                    ++i;
+                } else {
+                    out += c == '\n' ? '\n' : ' ';
+                }
+                break;
+            case State::Str:
+                if (c == '\\') {
+                    out += "  ";
+                    ++i;
+                    if (i < in.size() && in[i] == '\n') out.back() = '\n';
+                } else if (c == '"') {
+                    state = State::Code;
+                    out += ' ';
+                } else {
+                    out += c == '\n' ? '\n' : ' ';
+                }
+                break;
+            case State::Chr:
+                if (c == '\\') {
+                    out += "  ";
+                    ++i;
+                } else if (c == '\'') {
+                    state = State::Code;
+                    out += ' ';
+                } else {
+                    out += ' ';
+                }
+                break;
+            case State::Raw: {
+                const std::string closer = ")" + raw_delim + "\"";
+                if (c == ')' && in.compare(i, closer.size(), closer) == 0) {
+                    out.append(closer.size(), ' ');
+                    i += closer.size() - 1;
+                    state = State::Code;
+                } else {
+                    out += c == '\n' ? '\n' : ' ';
+                }
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+bool ends_with(std::string_view value, std::string_view suffix) {
+    return value.size() >= suffix.size() &&
+           value.compare(value.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+}
+
+/// Generic-format path ("a/b/c.hpp") for stable rule/allowlist matching.
+std::string generic_path(const fs::path& p) { return p.generic_string(); }
+
+void scan_file(const fs::path& path, const std::vector<AllowEntry>& allow,
+               std::vector<Finding>& findings) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("ga-lint: cannot read " + path.string());
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string stripped = strip_comments_and_strings(buffer.str());
+    const std::string gpath = generic_path(path);
+
+    for (const Rule& rule : rules()) {
+        if (!rule.path_fragment.empty() &&
+            gpath.find(rule.path_fragment) == std::string::npos) {
+            continue;
+        }
+        if (std::any_of(rule.builtin_exempt.begin(), rule.builtin_exempt.end(),
+                        [&](const std::string& suffix) {
+                            return ends_with(gpath, suffix);
+                        })) {
+            continue;
+        }
+        if (std::any_of(allow.begin(), allow.end(),
+                        [&](const AllowEntry& e) {
+                            return e.rule == rule.name &&
+                                   ends_with(gpath, e.path_suffix);
+                        })) {
+            continue;
+        }
+        // Scan line by line so findings carry line numbers.
+        std::istringstream lines(stripped);
+        std::string line;
+        std::size_t lineno = 0;
+        while (std::getline(lines, line)) {
+            ++lineno;
+            if (std::regex_search(line, rule.pattern)) {
+                findings.push_back(
+                    Finding{gpath, lineno, rule.name, rule.message});
+            }
+        }
+    }
+}
+
+bool lintable(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+void collect_files(const fs::path& root, std::vector<fs::path>& files) {
+    if (fs::is_directory(root)) {
+        for (const auto& entry : fs::recursive_directory_iterator(root)) {
+            if (entry.is_regular_file() && lintable(entry.path())) {
+                files.push_back(entry.path());
+            }
+        }
+    } else if (fs::is_regular_file(root)) {
+        files.push_back(root);
+    } else {
+        throw std::runtime_error("ga-lint: no such file or directory: " +
+                                 root.string());
+    }
+}
+
+std::vector<AllowEntry> load_allowlist(const fs::path& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw std::runtime_error("ga-lint: cannot read allowlist " +
+                                 path.string());
+    }
+    std::vector<AllowEntry> allow;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        std::istringstream fields(line);
+        AllowEntry entry;
+        if (!(fields >> entry.rule >> entry.path_suffix)) continue;
+        const auto known =
+            std::any_of(rules().begin(), rules().end(),
+                        [&](const Rule& r) { return r.name == entry.rule; });
+        if (!known) {
+            throw std::runtime_error("ga-lint: allowlist names unknown rule '" +
+                                     entry.rule + "'");
+        }
+        allow.push_back(std::move(entry));
+    }
+    return allow;
+}
+
+/// First-line expectation of a fixture: "banned-rng", ... or "clean".
+std::string fixture_expectation(const fs::path& path) {
+    std::ifstream in(path);
+    std::string first;
+    std::getline(in, first);
+    const std::string marker = "ga-lint-expect:";
+    const auto at = first.find(marker);
+    if (at == std::string::npos) {
+        throw std::runtime_error("ga-lint: fixture missing ga-lint-expect "
+                                 "marker: " +
+                                 path.string());
+    }
+    std::string expect = first.substr(at + marker.size());
+    const auto begin = expect.find_first_not_of(" \t");
+    const auto end = expect.find_last_not_of(" \t\r");
+    if (begin == std::string::npos) {
+        throw std::runtime_error("ga-lint: empty expectation in " +
+                                 path.string());
+    }
+    return expect.substr(begin, end - begin + 1);
+}
+
+int run_self_test(const fs::path& fixture_dir) {
+    std::vector<fs::path> files;
+    collect_files(fixture_dir, files);
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+        std::cerr << "ga-lint: no fixtures under " << fixture_dir << "\n";
+        return 2;
+    }
+    int failures = 0;
+    for (const fs::path& file : files) {
+        const std::string expect = fixture_expectation(file);
+        std::vector<Finding> findings;
+        scan_file(file, {}, findings);
+        bool ok = false;
+        if (expect == "clean") {
+            ok = findings.empty();
+        } else {
+            ok = std::any_of(findings.begin(), findings.end(),
+                             [&](const Finding& f) { return f.rule == expect; });
+        }
+        std::cout << (ok ? "PASS " : "FAIL ") << file.generic_string()
+                  << " (expect: " << expect << ", got " << findings.size()
+                  << " finding(s))\n";
+        if (!ok) {
+            for (const Finding& f : findings) {
+                std::cout << "  " << f.path << ":" << f.line << ": [" << f.rule
+                          << "]\n";
+            }
+            ++failures;
+        }
+    }
+    std::cout << (failures == 0 ? "self-test OK" : "self-test FAILED") << " ("
+              << files.size() << " fixtures)\n";
+    return failures == 0 ? 0 : 1;
+}
+
+int usage() {
+    std::cerr << "usage: ga-lint [--allowlist FILE] PATH...\n"
+                 "       ga-lint --self-test FIXTURE_DIR\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        std::vector<fs::path> roots;
+        std::vector<AllowEntry> allow;
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg == "--allowlist") {
+                if (++i >= argc) return usage();
+                allow = load_allowlist(argv[i]);
+            } else if (arg == "--self-test") {
+                if (++i >= argc || i + 1 != argc) return usage();
+                return run_self_test(argv[i]);
+            } else if (arg == "--help" || arg == "-h") {
+                usage();
+                return 0;
+            } else if (!arg.empty() && arg[0] == '-') {
+                return usage();
+            } else {
+                roots.emplace_back(arg);
+            }
+        }
+        if (roots.empty()) return usage();
+
+        std::vector<fs::path> files;
+        for (const fs::path& root : roots) collect_files(root, files);
+        std::sort(files.begin(), files.end());
+
+        std::vector<Finding> findings;
+        for (const fs::path& file : files) scan_file(file, allow, findings);
+
+        for (const Finding& f : findings) {
+            std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+                      << f.message << "\n";
+        }
+        std::cout << "ga-lint: " << files.size() << " files, "
+                  << findings.size() << " finding(s)\n";
+        return findings.empty() ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+}

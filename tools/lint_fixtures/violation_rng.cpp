@@ -1,0 +1,9 @@
+// ga-lint-expect: banned-rng
+// Fixture: standard-library RNG in library code. The project contract is
+// that all randomness flows through the seeded ga::util::Rng so experiments
+// replay bit-exactly; std::rand draws from hidden global state.
+#include <cstdlib>
+
+int roll_die() {
+    return std::rand() % 6 + 1;
+}

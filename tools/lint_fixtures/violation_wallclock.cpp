@@ -1,0 +1,11 @@
+// ga-lint-expect: wall-clock
+// Fixture: wall-clock reads as simulation input. Virtual time comes from
+// the scenario; a clock read is a hidden nondeterministic input.
+#include <chrono>
+#include <ctime>
+
+double seconds_since_epoch() {
+    const auto t = static_cast<double>(time(nullptr));
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    return t + std::chrono::duration<double>(now).count();
+}
