@@ -146,7 +146,10 @@ public:
     [[nodiscard]] static AccountantRegistry& global();
 
 private:
-    mutable ga::util::Mutex mutex_;
+    // Registry locks sit at the top of the declared lock hierarchy: a
+    // registry lookup may happen on the way into a ledger operation
+    // (Ledger::define_currency), never the other way around.
+    mutable ga::util::Mutex mutex_ GA_ACQUIRED_BEFORE(Ledger::mutex_);
     std::map<std::string, Factory, std::less<>> factories_ GA_GUARDED_BY(mutex_);
 };
 

@@ -210,7 +210,11 @@ private:
                        std::string currency, std::string_view unit,
                        double cost, const JobUsage& usage) GA_REQUIRES(mutex_);
 
-    mutable ga::util::Mutex mutex_;
+    // Accounting sits above infrastructure in the declared lock hierarchy
+    // (docs/ARCHITECTURE.md, "Lock hierarchy"): if ledger and pool locks
+    // are ever both held, the ledger lock is taken first.
+    mutable ga::util::Mutex mutex_
+        GA_ACQUIRED_BEFORE(ga::util::ThreadPool::mutex_);
     std::map<std::string, std::shared_ptr<const Accountant>, std::less<>>
         pricers_ GA_GUARDED_BY(mutex_);
     std::vector<Account> accounts_ GA_GUARDED_BY(mutex_);

@@ -80,7 +80,11 @@ private:
     [[nodiscard]] Topic& topic_ref(const std::string& topic)
         GA_REQUIRES(mutex_);
 
-    mutable ga::util::Mutex mutex_;
+    // Infrastructure level of the declared lock hierarchy: a ledger
+    // operation may publish telemetry through the broker, so when both
+    // locks are held the ledger lock comes first.
+    mutable ga::util::Mutex mutex_
+        GA_ACQUIRED_AFTER(ga::acct::Ledger::mutex_);
     std::map<std::string, Topic> topics_ GA_GUARDED_BY(mutex_);
     /// (group, topic, partition) -> next offset to read.
     std::map<std::tuple<std::string, std::string, std::size_t>, std::uint64_t>

@@ -183,7 +183,11 @@ public:
     [[nodiscard]] static PolicyRegistry& global();
 
 private:
-    mutable ga::util::Mutex mutex_;
+    // Registry level of the declared lock hierarchy, alongside
+    // AccountantRegistry: policies are built on the way into simulation
+    // runs that charge the ledger, never from under the ledger lock.
+    mutable ga::util::Mutex mutex_
+        GA_ACQUIRED_BEFORE(ga::acct::Ledger::mutex_);
     std::map<std::string, Factory, std::less<>> factories_ GA_GUARDED_BY(mutex_);
 };
 

@@ -205,7 +205,11 @@ SweepRunner::SweepRunner(const BatchSimulator& simulator, std::size_t threads)
 std::vector<SweepOutcome> SweepRunner::run(
     const std::vector<ScenarioSpec>& specs) {
     std::vector<SweepOutcome> outcomes(specs.size());
-    ga::util::Mutex error_mutex;
+    // Leaf of the declared lock hierarchy: the sweep tasks charge the
+    // ledger through simulator_->run before this lock is ever taken, so
+    // it must order after the accounting locks and hold nothing else.
+    ga::util::Mutex error_mutex GA_ACQUIRED_AFTER(
+        ga::acct::Ledger::mutex_, ga::acct::AccountantRegistry::mutex_);
     std::exception_ptr error;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         pool_.submit([this, &outcomes, &specs, &error_mutex, &error, i] {

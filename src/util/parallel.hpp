@@ -122,7 +122,9 @@ void parallel_for(std::size_t n, std::size_t threads, Body&& body) {
     }
 
     std::atomic<std::size_t> next{0};
-    Mutex error_mutex;
+    // Error-collection locals are leaves of the declared lock hierarchy:
+    // taken last, holding nothing else, never held across a call out.
+    Mutex error_mutex GA_ACQUIRED_AFTER(ThreadPool::mutex_);
     std::exception_ptr error;
     const auto run = [&]() noexcept {
         for (;;) {

@@ -71,6 +71,41 @@
 #define GA_NO_THREAD_SAFETY_ANALYSIS \
     GA_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+// ---------------------------------------------------------------------------
+// Declared lock hierarchy. A `Mutex` member/local annotated with
+// `GA_ACQUIRED_BEFORE(other)` must always be taken before `other` when both
+// are held; `GA_ACQUIRED_AFTER(other)` is the mirror. Together the
+// annotations form the project's global lock-order graph, and
+// `tools/ga-analyze` cross-checks every observed `LockGuard` nesting (and
+// every acquisition reached through a call made under a lock) against it —
+// an undeclared ordering or a cycle is a build-gating finding. The current
+// hierarchy (see docs/ARCHITECTURE.md, "Lock hierarchy"):
+//
+//   registries (PolicyRegistry, AccountantRegistry)
+//     -> accounting (Ledger)
+//       -> infrastructure (Broker, ThreadPool)
+//         -> error-collection locals (SweepRunner::run, parallel_for)
+//
+// By default the macros expand to nothing even under clang: clang's
+// `acquired_before`/`acquired_after` checking is still beta
+// (-Wthread-safety-beta), and the hierarchy deliberately names mutexes of
+// *other* classes (e.g. a sweep-local error mutex ordered after
+// `ga::acct::Ledger::mutex_`), which the in-scope attribute arguments
+// cannot reference. Define GA_TSA_ACQUIRED_ORDER to feed the subset clang
+// can resolve into the beta checker; ga-analyze consumes the annotations
+// textually either way.
+#if defined(__clang__) && defined(GA_TSA_ACQUIRED_ORDER)
+#define GA_ACQUIRED_BEFORE(...) \
+    GA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define GA_ACQUIRED_AFTER(...) \
+    GA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#else
+/// This mutex is taken before the named mutexes when both are held.
+#define GA_ACQUIRED_BEFORE(...)
+/// This mutex is taken after the named mutexes when both are held.
+#define GA_ACQUIRED_AFTER(...)
+#endif
+
 namespace ga::util {
 
 /// `std::mutex` as an annotated capability. Identical cost (the wrapper is
