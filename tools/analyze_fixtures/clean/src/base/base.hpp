@@ -1,0 +1,9 @@
+#pragma once
+
+namespace ga::basens {
+
+struct Thing {
+    int value = 0;
+};
+
+}  // namespace ga::basens

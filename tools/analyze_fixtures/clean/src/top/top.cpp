@@ -1,0 +1,10 @@
+#include "top/top.hpp"
+
+namespace ga::topns {
+
+void User::touch() {
+    const LockGuard lock(m_);
+    thing_.value = 1;
+}
+
+}  // namespace ga::topns

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "base/base.hpp"
+
+namespace ga::topns {
+
+class User {
+public:
+    void touch();
+
+private:
+    ga::basens::Thing thing_;
+    Mutex m_;
+};
+
+}  // namespace ga::topns

@@ -1,0 +1,3 @@
+struct Bad {
+    int v = 0;
+};

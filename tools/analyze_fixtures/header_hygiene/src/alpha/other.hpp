@@ -1,0 +1,5 @@
+#pragma once
+
+struct Other {
+    int v = 0;
+};

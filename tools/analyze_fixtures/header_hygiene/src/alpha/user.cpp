@@ -1,0 +1,8 @@
+#include "../alpha/bad.hpp"
+#include "other.hpp"
+
+int use_bad() {
+    Bad b;
+    Other o;
+    return b.v + o.v;
+}

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "beta/b.hpp"
+
+namespace ga::alphans {
+struct A {
+    int v = 0;
+};
+}  // namespace ga::alphans

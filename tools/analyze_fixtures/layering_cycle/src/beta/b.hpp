@@ -1,0 +1,9 @@
+#pragma once
+
+#include "alpha/a.hpp"
+
+namespace ga::betans {
+struct B {
+    int v = 0;
+};
+}  // namespace ga::betans

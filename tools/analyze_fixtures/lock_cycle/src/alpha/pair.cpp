@@ -1,0 +1,15 @@
+#include "alpha/pair.hpp"
+
+namespace ga::alphans {
+
+void Pair::ab() {
+    const LockGuard first(a_);
+    const LockGuard second(b_);
+}
+
+void Pair::ba() {
+    const LockGuard first(b_);
+    const LockGuard second(a_);
+}
+
+}  // namespace ga::alphans

@@ -1,0 +1,15 @@
+#pragma once
+
+namespace ga::alphans {
+
+class Pair {
+public:
+    void ab();
+    void ba();
+
+private:
+    Mutex a_;
+    Mutex b_;
+};
+
+}  // namespace ga::alphans

@@ -1,0 +1,15 @@
+#include "alpha/pair.hpp"
+
+namespace ga::alphans {
+
+void Pair::good() {
+    const LockGuard first(a_);
+    const LockGuard second(b_);
+}
+
+void Pair::bad() {
+    const LockGuard first(b_);
+    const LockGuard second(a_);
+}
+
+}  // namespace ga::alphans

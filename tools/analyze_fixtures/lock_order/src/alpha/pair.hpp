@@ -1,0 +1,15 @@
+#pragma once
+
+namespace ga::alphans {
+
+class Pair {
+public:
+    void good();
+    void bad();
+
+private:
+    Mutex a_ GA_ACQUIRED_BEFORE(b_);
+    Mutex b_;
+};
+
+}  // namespace ga::alphans

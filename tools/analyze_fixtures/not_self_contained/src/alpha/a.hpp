@@ -1,0 +1,7 @@
+#pragma once
+
+namespace ga::alphans {
+struct Thing {
+    int v = 0;
+};
+}  // namespace ga::alphans

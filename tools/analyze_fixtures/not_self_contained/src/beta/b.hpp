@@ -1,0 +1,11 @@
+#pragma once
+
+namespace ga::betans {
+
+// Missing #include "alpha/a.hpp": the reference below does not compile in
+// a standalone translation unit.
+struct Holder {
+    ga::alphans::Thing* thing = nullptr;
+};
+
+}  // namespace ga::betans

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace ga::alphans {
+struct A {
+    int v = 0;
+};
+}  // namespace ga::alphans

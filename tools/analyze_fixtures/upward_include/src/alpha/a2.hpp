@@ -1,0 +1,9 @@
+#pragma once
+
+#include "beta/c.hpp"
+
+namespace ga::alphans {
+struct A2 {
+    int v = 0;
+};
+}  // namespace ga::alphans

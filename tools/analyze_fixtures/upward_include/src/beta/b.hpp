@@ -1,0 +1,9 @@
+#pragma once
+
+#include "alpha/a.hpp"
+
+namespace ga::betans {
+struct B {
+    ga::alphans::A a;
+};
+}  // namespace ga::betans

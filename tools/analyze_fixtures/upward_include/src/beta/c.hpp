@@ -1,0 +1,7 @@
+#pragma once
+
+namespace ga::betans {
+struct C {
+    int v = 0;
+};
+}  // namespace ga::betans

@@ -21,10 +21,14 @@
 //                 Locking goes through the annotated ga::util::Mutex wrappers
 //                 so clang Thread Safety Analysis sees every lock.
 //
-// Matching runs on comment- and string-stripped source, so prose mentioning
-// a banned token never trips a rule. Findings can be suppressed through an
-// allowlist file (`--allowlist`): lines of "<rule> <path-suffix>", '#'
-// comments; each entry documents why the exception is sound.
+// Matching runs on comment- and string-stripped source (source_text.hpp,
+// shared with ga-analyze), so prose mentioning a banned token never trips a
+// rule. Findings can be suppressed through an allowlist file
+// (`--allowlist`): lines of "<rule> <path-suffix>", '#' comments; each
+// entry documents why the exception is sound. `--exclude FRAGMENT`
+// (repeatable) skips paths containing the fragment, so the tree scan can
+// cover tools/ and bench/ without tripping over the tools' own seeded
+// violation fixtures.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 //
@@ -42,9 +46,14 @@
 #include <string_view>
 #include <vector>
 
+#include "source_text.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
+using ga::tools::ends_with;
+using ga::tools::read_file;
+using ga::tools::strip_comments_and_strings;
 
 struct Rule {
     std::string name;
@@ -98,123 +107,13 @@ struct AllowEntry {
     std::string path_suffix;
 };
 
-/// Replaces comments and string/char literals with spaces, preserving
-/// newlines so line numbers survive. Handles //, /* */, "...", '...', and
-/// the R"delim(...)delim" raw-string form.
-std::string strip_comments_and_strings(const std::string& in) {
-    std::string out;
-    out.reserve(in.size());
-    enum class State { Code, Line, Block, Str, Chr, Raw };
-    State state = State::Code;
-    std::string raw_delim;
-    for (std::size_t i = 0; i < in.size(); ++i) {
-        const char c = in[i];
-        const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-        switch (state) {
-            case State::Code:
-                if (c == '/' && next == '/') {
-                    state = State::Line;
-                    out += "  ";
-                    ++i;
-                } else if (c == '/' && next == '*') {
-                    state = State::Block;
-                    out += "  ";
-                    ++i;
-                } else if (c == 'R' && next == '"' &&
-                           (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                           in[i - 1])) &&
-                                       in[i - 1] != '_'))) {
-                    // R"delim( — capture the delimiter up to '('.
-                    std::size_t j = i + 2;
-                    raw_delim.clear();
-                    while (j < in.size() && in[j] != '(') raw_delim += in[j++];
-                    state = State::Raw;
-                    out.append(j - i + 1, ' ');
-                    i = j;
-                } else if (c == '"') {
-                    state = State::Str;
-                    out += ' ';
-                } else if (c == '\'') {
-                    state = State::Chr;
-                    out += ' ';
-                } else {
-                    out += c;
-                }
-                break;
-            case State::Line:
-                if (c == '\n') {
-                    state = State::Code;
-                    out += '\n';
-                } else {
-                    out += ' ';
-                }
-                break;
-            case State::Block:
-                if (c == '*' && next == '/') {
-                    state = State::Code;
-                    out += "  ";
-                    ++i;
-                } else {
-                    out += c == '\n' ? '\n' : ' ';
-                }
-                break;
-            case State::Str:
-                if (c == '\\') {
-                    out += "  ";
-                    ++i;
-                    if (i < in.size() && in[i] == '\n') out.back() = '\n';
-                } else if (c == '"') {
-                    state = State::Code;
-                    out += ' ';
-                } else {
-                    out += c == '\n' ? '\n' : ' ';
-                }
-                break;
-            case State::Chr:
-                if (c == '\\') {
-                    out += "  ";
-                    ++i;
-                } else if (c == '\'') {
-                    state = State::Code;
-                    out += ' ';
-                } else {
-                    out += ' ';
-                }
-                break;
-            case State::Raw: {
-                const std::string closer = ")" + raw_delim + "\"";
-                if (c == ')' && in.compare(i, closer.size(), closer) == 0) {
-                    out.append(closer.size(), ' ');
-                    i += closer.size() - 1;
-                    state = State::Code;
-                } else {
-                    out += c == '\n' ? '\n' : ' ';
-                }
-                break;
-            }
-        }
-    }
-    return out;
-}
-
-bool ends_with(std::string_view value, std::string_view suffix) {
-    return value.size() >= suffix.size() &&
-           value.compare(value.size() - suffix.size(), suffix.size(),
-                         suffix) == 0;
-}
-
 /// Generic-format path ("a/b/c.hpp") for stable rule/allowlist matching.
 std::string generic_path(const fs::path& p) { return p.generic_string(); }
 
 void scan_file(const fs::path& path, const std::vector<AllowEntry>& allow,
                std::vector<Finding>& findings) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        throw std::runtime_error("ga-lint: cannot read " + path.string());
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string stripped = strip_comments_and_strings(buffer.str());
+    const std::string stripped =
+        strip_comments_and_strings(read_file(path, "ga-lint"));
     const std::string gpath = generic_path(path);
 
     for (const Rule& rule : rules()) {
@@ -254,15 +153,25 @@ bool lintable(const fs::path& p) {
     return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
 }
 
-void collect_files(const fs::path& root, std::vector<fs::path>& files) {
+void collect_files(const fs::path& root, std::vector<fs::path>& files,
+                   const std::vector<std::string>& excludes = {}) {
+    const auto excluded = [&excludes](const fs::path& p) {
+        const std::string gpath = generic_path(p);
+        return std::any_of(excludes.begin(), excludes.end(),
+                           [&gpath](const std::string& fragment) {
+                               return gpath.find(fragment) !=
+                                      std::string::npos;
+                           });
+    };
     if (fs::is_directory(root)) {
         for (const auto& entry : fs::recursive_directory_iterator(root)) {
-            if (entry.is_regular_file() && lintable(entry.path())) {
+            if (entry.is_regular_file() && lintable(entry.path()) &&
+                !excluded(entry.path())) {
                 files.push_back(entry.path());
             }
         }
     } else if (fs::is_regular_file(root)) {
-        files.push_back(root);
+        if (!excluded(root)) files.push_back(root);
     } else {
         throw std::runtime_error("ga-lint: no such file or directory: " +
                                  root.string());
@@ -354,7 +263,8 @@ int run_self_test(const fs::path& fixture_dir) {
 }
 
 int usage() {
-    std::cerr << "usage: ga-lint [--allowlist FILE] PATH...\n"
+    std::cerr << "usage: ga-lint [--allowlist FILE] [--exclude FRAGMENT]... "
+                 "PATH...\n"
                  "       ga-lint --self-test FIXTURE_DIR\n";
     return 2;
 }
@@ -365,11 +275,15 @@ int main(int argc, char** argv) {
     try {
         std::vector<fs::path> roots;
         std::vector<AllowEntry> allow;
+        std::vector<std::string> excludes;
         for (int i = 1; i < argc; ++i) {
             const std::string_view arg = argv[i];
             if (arg == "--allowlist") {
                 if (++i >= argc) return usage();
                 allow = load_allowlist(argv[i]);
+            } else if (arg == "--exclude") {
+                if (++i >= argc) return usage();
+                excludes.emplace_back(argv[i]);
             } else if (arg == "--self-test") {
                 if (++i >= argc || i + 1 != argc) return usage();
                 return run_self_test(argv[i]);
@@ -385,7 +299,7 @@ int main(int argc, char** argv) {
         if (roots.empty()) return usage();
 
         std::vector<fs::path> files;
-        for (const fs::path& root : roots) collect_files(root, files);
+        for (const fs::path& root : roots) collect_files(root, files, excludes);
         std::sort(files.begin(), files.end());
 
         std::vector<Finding> findings;
