@@ -1,6 +1,8 @@
 #include "core/allocation.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_set>
 #include <utility>
 
 #include "util/error.hpp"
@@ -29,6 +31,16 @@ void Allocation::refund(double amount) {
     spent_ -= amount;
 }
 
+Allocation Allocation::restore(double budget, double spent) {
+    GA_REQUIRE(std::isfinite(budget) && std::isfinite(spent),
+               "allocation: restored budget/spent must be finite");
+    GA_REQUIRE(spent >= 0.0, "allocation: restored spent must be non-negative");
+    GA_REQUIRE(spent <= budget, "allocation: restored spent exceeds budget");
+    Allocation a(budget);  // enforces budget > 0
+    a.spent_ = spent;
+    return a;
+}
+
 // ------------------------------------------------------------------ Ledger
 
 void Ledger::define_currency(std::string currency,
@@ -36,13 +48,21 @@ void Ledger::define_currency(std::string currency,
     GA_REQUIRE(!currency.empty(), "ledger: currency name must not be empty");
     GA_REQUIRE(accountant != nullptr, "ledger: currency accountant required");
     const ga::util::LockGuard lock(mutex_);
+    // A raw accountant has no registry spec to re-bind from on import;
+    // drop any stale spec so export_state refuses rather than lies.
+    pricer_specs_.erase(currency);
     pricers_.insert_or_assign(std::move(currency), std::move(accountant));
 }
 
 void Ledger::define_currency(std::string currency, const AccountantSpec& spec) {
-    define_currency(std::move(currency),
-                    std::shared_ptr<const Accountant>(
-                        AccountantRegistry::global().make(spec)));
+    GA_REQUIRE(!currency.empty(), "ledger: currency name must not be empty");
+    // Build from the registry before locking: registry locks sit above the
+    // ledger lock in the declared hierarchy.
+    std::shared_ptr<const Accountant> accountant(
+        AccountantRegistry::global().make(spec));
+    const ga::util::LockGuard lock(mutex_);
+    pricer_specs_.insert_or_assign(currency, spec);
+    pricers_.insert_or_assign(std::move(currency), std::move(accountant));
 }
 
 bool Ledger::has_currency(std::string_view currency) const {
@@ -286,6 +306,7 @@ ChargeOutcome Ledger::charge(const std::string& user, const JobUsage& usage,
                        "ledger: affordability check raced a concurrent debit");
             history_.push_back(record(user, m.node.name, currency,
                                       pricer->unit(), cost, usage));
+            outcome.transactions.push_back(history_.back().id);
         }
         outcome.admitted = true;
         return outcome;
@@ -364,6 +385,105 @@ double Ledger::total_cost(const std::string& user) const {
         if (t.user == user) total += t.cost;
     }
     return total;
+}
+
+LedgerState Ledger::export_state() const {
+    const ga::util::LockGuard lock(mutex_);
+    LedgerState state;
+    state.currencies.reserve(pricers_.size());
+    for (const auto& [currency, pricer] : pricers_) {
+        const auto it = pricer_specs_.find(currency);
+        if (it == pricer_specs_.end()) {
+            throw ga::util::RuntimeError(
+                "ledger: currency '" + currency +
+                "' was defined from a raw accountant, not a registry spec; "
+                "it cannot be re-bound on import, so this ledger is not "
+                "snapshottable");
+        }
+        state.currencies.emplace_back(currency, it->second);
+    }
+    state.accounts.reserve(accounts_.size());
+    for (const auto& account : accounts_) {
+        LedgerState::AccountState as;
+        as.user = account.user;
+        as.first_valid_tx = account.first_valid_tx;
+        as.holdings.reserve(account.holdings.size());
+        for (const auto& [currency, holding] : account.holdings) {
+            as.holdings.emplace_back(
+                currency,
+                LedgerState::AllocationState{holding.budget(), holding.spent()});
+        }
+        state.accounts.push_back(std::move(as));
+    }
+    state.transactions = history_;
+    state.refunded.assign(refunded_.begin(), refunded_.end());
+    std::sort(state.refunded.begin(), state.refunded.end());
+    state.next_id = next_id_;
+    return state;
+}
+
+void Ledger::import_state(const LedgerState& state) {
+    // Validate and rebuild everything into locals first: the registry is
+    // consulted before the ledger lock is taken (registry locks order
+    // before the ledger lock), and a throw leaves this ledger untouched.
+    std::map<std::string, std::shared_ptr<const Accountant>, std::less<>>
+        pricers;
+    std::map<std::string, AccountantSpec, std::less<>> specs;
+    for (const auto& [currency, spec] : state.currencies) {
+        GA_REQUIRE(!currency.empty(), "ledger: currency name must not be empty");
+        pricers.insert_or_assign(currency,
+                                 std::shared_ptr<const Accountant>(
+                                     AccountantRegistry::global().make(spec)));
+        specs.insert_or_assign(currency, spec);
+    }
+
+    std::uint64_t prev_id = 0;
+    for (const auto& t : state.transactions) {
+        if (t.id <= prev_id) {
+            throw ga::util::RuntimeError(
+                "ledger: snapshot transaction ids not strictly increasing "
+                "at id " + std::to_string(t.id));
+        }
+        prev_id = t.id;
+    }
+    if (state.next_id <= prev_id) {
+        throw ga::util::RuntimeError(
+            "ledger: snapshot next_id " + std::to_string(state.next_id) +
+            " does not exceed the last transaction id " +
+            std::to_string(prev_id));
+    }
+
+    std::vector<Account> accounts;
+    accounts.reserve(state.accounts.size());
+    std::unordered_set<std::string> seen_users;
+    for (const auto& as : state.accounts) {
+        GA_REQUIRE(!as.user.empty(), "ledger: snapshot account without a user");
+        if (!seen_users.insert(as.user).second) {
+            throw ga::util::RuntimeError("ledger: snapshot has duplicate "
+                                         "accounts for user " + as.user);
+        }
+        Account account;
+        account.user = as.user;
+        account.first_valid_tx = as.first_valid_tx;
+        for (const auto& [currency, alloc] : as.holdings) {
+            GA_REQUIRE(!currency.empty(),
+                       "ledger: currency name must not be empty");
+            account.holdings.emplace(
+                currency, Allocation::restore(alloc.budget, alloc.spent));
+        }
+        GA_REQUIRE(!account.holdings.empty(),
+                   "ledger: account needs at least one currency");
+        accounts.push_back(std::move(account));
+    }
+
+    const ga::util::LockGuard lock(mutex_);
+    pricers_ = std::move(pricers);
+    pricer_specs_ = std::move(specs);
+    accounts_ = std::move(accounts);
+    history_ = state.transactions;
+    refunded_.clear();
+    refunded_.insert(state.refunded.begin(), state.refunded.end());
+    next_id_ = state.next_id;
 }
 
 }  // namespace ga::acct

@@ -45,6 +45,8 @@ struct Transaction {
     /// For refund records: the id of the transaction being reversed
     /// (0 for ordinary charges).
     std::uint64_t refund_of = 0;
+
+    bool operator==(const Transaction&) const = default;
 };
 
 /// A single budget with overdraft protection.
@@ -71,6 +73,12 @@ public:
     /// disputed bill). The amount must not exceed what was spent.
     void refund(double amount);
 
+    /// Rebuilds a mid-life allocation from snapshot state. Unlike the
+    /// constructor this accepts spent > 0; it enforces the live-ledger
+    /// invariants (budget positive and finite, 0 <= spent <= budget) so a
+    /// tampered snapshot cannot smuggle in an overdrafted account.
+    [[nodiscard]] static Allocation restore(double budget, double spent);
+
 private:
     double budget_;
     double spent_ = 0.0;
@@ -82,6 +90,45 @@ struct ChargeOutcome {
     bool admitted = false;
     std::string refused_currency;        ///< first currency that could not pay
     std::map<std::string, double> costs; ///< per-currency price (always filled)
+    /// Transaction ids recorded on admission, one per currency in sorted
+    /// currency order (empty on refusal) — the handle a caller needs to
+    /// refund this charge later.
+    std::vector<std::uint64_t> transactions;
+};
+
+/// Value-type image of a Ledger for durable snapshots (service/snapshot).
+/// Produced by `Ledger::export_state` under the ledger lock and consumed by
+/// `Ledger::import_state`; holds no live accountants — currencies are
+/// re-bound from their recorded registry specs on import, so only
+/// spec-defined currencies are exportable.
+struct LedgerState {
+    struct AllocationState {
+        double budget = 0.0;
+        double spent = 0.0;
+
+        bool operator==(const AllocationState&) const = default;
+    };
+
+    struct AccountState {
+        std::string user;
+        /// currency -> allocation, sorted by currency.
+        std::vector<std::pair<std::string, AllocationState>> holdings;
+        std::uint64_t first_valid_tx = 1;
+
+        bool operator==(const AccountState&) const = default;
+    };
+
+    /// currency -> registry spec, sorted by currency.
+    std::vector<std::pair<std::string, AccountantSpec>> currencies;
+    /// Accounts in ledger (creation) order.
+    std::vector<AccountState> accounts;
+    /// Full audit trail, ids strictly increasing.
+    std::vector<Transaction> transactions;
+    /// Ids of refunded transactions, sorted.
+    std::vector<std::uint64_t> refunded;
+    std::uint64_t next_id = 1;
+
+    bool operator==(const LedgerState&) const = default;
 };
 
 /// Per-user multi-currency accounts plus an audit trail. Thread-safe: all
@@ -179,6 +226,23 @@ public:
     /// single-currency accounts; multi-currency sums are unit-mixed.
     [[nodiscard]] double total_cost(const std::string& user) const;
 
+    // ---- durable state --------------------------------------------------
+    /// Value snapshot of the whole ledger, taken atomically under the
+    /// ledger lock — snapshot writers consume this copy and never iterate
+    /// the guarded maps directly. Throws RuntimeError when a currency was
+    /// defined from a raw accountant rather than a registry spec: such a
+    /// currency cannot be re-bound on import, so the ledger is declared
+    /// non-snapshottable rather than silently dropping it.
+    [[nodiscard]] LedgerState export_state() const;
+
+    /// Replaces the entire ledger contents with `state`. Accountants are
+    /// rebuilt from the registry *before* the ledger lock is taken
+    /// (registry locks are GA_ACQUIRED_BEFORE the ledger lock in the
+    /// declared hierarchy). Throws RuntimeError on malformed state —
+    /// unknown accountant names, non-increasing transaction ids, duplicate
+    /// users, invalid allocations — leaving the ledger unchanged.
+    void import_state(const LedgerState& state);
+
 private:
     struct Account {
         std::string user;
@@ -217,6 +281,11 @@ private:
         GA_ACQUIRED_BEFORE(ga::util::ThreadPool::mutex_);
     std::map<std::string, std::shared_ptr<const Accountant>, std::less<>>
         pricers_ GA_GUARDED_BY(mutex_);
+    /// Registry spec each currency was defined from, kept in lockstep with
+    /// `pricers_` so export_state can re-bind currencies on import. Absent
+    /// for currencies defined from a raw accountant (export then throws).
+    std::map<std::string, AccountantSpec, std::less<>> pricer_specs_
+        GA_GUARDED_BY(mutex_);
     std::vector<Account> accounts_ GA_GUARDED_BY(mutex_);
     /// Append-only, ids strictly increasing.
     std::vector<Transaction> history_ GA_GUARDED_BY(mutex_);

@@ -1,0 +1,158 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace ga::service {
+
+namespace {
+
+/// Validates a JSON number as a request id; throws ProtocolError on a
+/// negative, fractional, or oversized value.
+std::uint64_t id_from_number(double n) {
+    if (!(n >= 0.0) || n != std::floor(n) ||
+        n > static_cast<double>(kMaxRequestId)) {
+        throw ProtocolError("bad_request",
+                            "request: 'id' must be a non-negative integer "
+                            "at most 2^53");
+    }
+    return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+Request parse_request(std::string_view line) {
+    ga::io::JsonValue body;
+    try {
+        body = ga::io::parse_json(line);
+    } catch (const std::exception& e) {
+        throw ProtocolError("parse_error", e.what());
+    }
+    if (!body.is_object()) {
+        throw ProtocolError("bad_request", "request must be a JSON object");
+    }
+    const ga::io::JsonValue* id = body.find("id");
+    if (id == nullptr || !id->is_number()) {
+        throw ProtocolError("bad_request",
+                            "request: missing numeric 'id' field");
+    }
+    const ga::io::JsonValue* type = body.find("type");
+    if (type == nullptr || !type->is_string()) {
+        throw ProtocolError("bad_request",
+                            "request: missing string 'type' field");
+    }
+    Request request;
+    request.id = id_from_number(id->as_number());
+    request.type = type->as_string();
+    request.body = std::move(body);
+    return request;
+}
+
+std::optional<std::uint64_t> recover_request_id(std::string_view line) noexcept {
+    try {
+        const ga::io::JsonValue body = ga::io::parse_json(line);
+        if (!body.is_object()) return std::nullopt;
+        const ga::io::JsonValue* id = body.find("id");
+        if (id == nullptr || !id->is_number()) return std::nullopt;
+        return id_from_number(id->as_number());
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+ga::io::JsonValue ok_response(std::uint64_t id, ga::io::JsonValue result) {
+    ga::io::JsonValue response{ga::io::JsonValue::Object{}};
+    response.set("id", ga::io::JsonValue(static_cast<double>(id)));
+    response.set("ok", ga::io::JsonValue(true));
+    response.set("result", std::move(result));
+    return response;
+}
+
+ga::io::JsonValue error_response(std::optional<std::uint64_t> id,
+                                 std::string_view code,
+                                 std::string_view message) {
+    ga::io::JsonValue error{ga::io::JsonValue::Object{}};
+    error.set("code", ga::io::JsonValue(code));
+    error.set("message", ga::io::JsonValue(message));
+    ga::io::JsonValue response{ga::io::JsonValue::Object{}};
+    response.set("id", id.has_value()
+                           ? ga::io::JsonValue(static_cast<double>(*id))
+                           : ga::io::JsonValue(nullptr));
+    response.set("ok", ga::io::JsonValue(false));
+    response.set("error", std::move(error));
+    return response;
+}
+
+std::string render(const ga::io::JsonValue& value) {
+    return ga::io::write_json(value, /*indent=*/0);
+}
+
+void check_keys(const ga::io::JsonValue& body,
+                std::initializer_list<std::string_view> allowed,
+                std::string_view context) {
+    for (const auto& [key, value] : body.as_object()) {
+        if (key == "id" || key == "type") continue;
+        bool known = false;
+        for (const std::string_view candidate : allowed) {
+            if (key == candidate) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            throw ProtocolError("bad_request", std::string(context) +
+                                                   ": unknown field '" + key +
+                                                   "'");
+        }
+    }
+}
+
+const std::string& string_field(const ga::io::JsonValue& body,
+                                std::string_view key,
+                                std::string_view context) {
+    const ga::io::JsonValue* value = body.find(key);
+    if (value == nullptr || !value->is_string()) {
+        throw ProtocolError("bad_request", std::string(context) +
+                                               ": missing string field '" +
+                                               std::string(key) + "'");
+    }
+    return value->as_string();
+}
+
+double number_field(const ga::io::JsonValue& body, std::string_view key,
+                    std::string_view context) {
+    const ga::io::JsonValue* value = body.find(key);
+    if (value == nullptr || !value->is_number()) {
+        throw ProtocolError("bad_request", std::string(context) +
+                                               ": missing numeric field '" +
+                                               std::string(key) + "'");
+    }
+    return value->as_number();
+}
+
+double number_field_or(const ga::io::JsonValue& body, std::string_view key,
+                       std::string_view context, double fallback) {
+    const ga::io::JsonValue* value = body.find(key);
+    if (value == nullptr) return fallback;
+    if (!value->is_number()) {
+        throw ProtocolError("bad_request", std::string(context) + ": field '" +
+                                               std::string(key) +
+                                               "' must be a number");
+    }
+    return value->as_number();
+}
+
+std::uint64_t uint_field(const ga::io::JsonValue& body, std::string_view key,
+                         std::string_view context) {
+    const double n = number_field(body, key, context);
+    if (!(n >= 0.0) || n != std::floor(n) ||
+        n > static_cast<double>(kMaxRequestId)) {
+        throw ProtocolError("bad_request",
+                            std::string(context) + ": field '" +
+                                std::string(key) +
+                                "' must be a non-negative integer");
+    }
+    return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace ga::service

@@ -1,0 +1,78 @@
+#include "util/framing.hpp"
+
+#include "util/error.hpp"
+
+namespace ga::util {
+
+LineFramer::LineFramer(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {
+    GA_REQUIRE(max_frame_bytes_ > 0, "framer: frame ceiling must be positive");
+}
+
+void LineFramer::compact() {
+    // Reclaim the consumed prefix once it dominates the buffer, keeping the
+    // total work linear in bytes fed (each byte is moved at most once per
+    // doubling, not once per frame).
+    if (offset_ > 0 && offset_ >= buffer_.size() / 2) {
+        buffer_.erase(0, offset_);
+        offset_ = 0;
+    }
+}
+
+void LineFramer::feed(std::string_view bytes) {
+    if (poisoned_) {
+        throw RuntimeError("framer: frame ceiling exceeded earlier; "
+                           "the stream is poisoned");
+    }
+    buffer_.append(bytes);
+    // Enforce the ceiling on the *unterminated* prefix only: a chunk may
+    // carry many complete small frames whose total exceeds the ceiling.
+    if (buffered() > max_frame_bytes_ &&
+        buffer_.find('\n', offset_) == std::string::npos) {
+        poisoned_ = true;
+        throw RuntimeError("framer: frame exceeds " +
+                           std::to_string(max_frame_bytes_) +
+                           " bytes without a newline");
+    }
+}
+
+std::optional<std::string> LineFramer::next() {
+    if (poisoned_) {
+        throw RuntimeError("framer: frame ceiling exceeded earlier; "
+                           "the stream is poisoned");
+    }
+    const std::size_t nl = buffer_.find('\n', offset_);
+    if (nl == std::string::npos) return std::nullopt;
+    std::size_t end = nl;
+    if (end > offset_ && buffer_[end - 1] == '\r') --end;  // CRLF client
+    std::string frame = buffer_.substr(offset_, end - offset_);
+    offset_ = nl + 1;
+    compact();
+    return frame;
+}
+
+std::optional<std::string> LineFramer::finish() {
+    if (poisoned_) {
+        throw RuntimeError("framer: frame ceiling exceeded earlier; "
+                           "the stream is poisoned");
+    }
+    if (buffered() == 0) return std::nullopt;
+    std::size_t end = buffer_.size();
+    if (end > offset_ && buffer_[end - 1] == '\r') --end;
+    std::string frame = buffer_.substr(offset_, end - offset_);
+    buffer_.clear();
+    offset_ = 0;
+    if (frame.empty()) return std::nullopt;
+    return frame;
+}
+
+void append_frame(std::string& out, std::string_view payload) {
+    if (payload.find('\n') != std::string_view::npos) {
+        throw RuntimeError(
+            "framer: payload contains a raw newline; one frame is one line");
+    }
+    out.append(payload);
+    out.push_back('\n');
+}
+
+}  // namespace ga::util

@@ -1,0 +1,67 @@
+// Line-delimited protocol framing for the allocation service (ga-serve).
+//
+// The service protocol is one request per line, one response per line — the
+// simplest framing that survives pipes, sockets, and shell transcripts. The
+// `LineFramer` is the receive side: feed it raw byte chunks in whatever
+// sizes the transport delivers and pull complete frames out, independent of
+// how reads split the stream. Frames are the bytes up to (excluding) each
+// '\n'; a trailing '\r' is stripped so CRLF clients work unchanged. A
+// configurable ceiling bounds memory against a peer that streams gigabytes
+// without a newline.
+//
+// Deliberately dependency-free (bytes in, frames out, no JSON knowledge) so
+// it sits in util/ at the bottom of the layering table; the protocol schema
+// itself lives in service/protocol.hpp.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ga::util {
+
+class LineFramer {
+public:
+    /// Default frame ceiling: 8 MiB, far above any sane request line.
+    static constexpr std::size_t kDefaultMaxFrameBytes = 8u << 20;
+
+    explicit LineFramer(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+    /// Appends transport bytes. Throws RuntimeError once the unterminated
+    /// prefix exceeds the frame ceiling (the connection should be dropped;
+    /// the buffer is poisoned and every later call re-throws).
+    void feed(std::string_view bytes);
+
+    /// Extracts the next complete frame ('\n' removed, trailing '\r'
+    /// stripped), or std::nullopt when no full line is buffered yet.
+    [[nodiscard]] std::optional<std::string> next();
+
+    /// End-of-stream: returns the unterminated final frame if the stream
+    /// ended without a closing newline (non-empty bytes only), else
+    /// std::nullopt. Call after the transport reports EOF and `next` has
+    /// drained; the framer is empty afterwards.
+    [[nodiscard]] std::optional<std::string> finish();
+
+    /// Bytes currently buffered (complete and partial frames).
+    [[nodiscard]] std::size_t buffered() const noexcept {
+        return buffer_.size() - offset_;
+    }
+
+private:
+    void compact();
+
+    std::string buffer_;
+    std::size_t offset_ = 0;  ///< consumed prefix, reclaimed by compact()
+    std::size_t max_frame_bytes_;
+    bool poisoned_ = false;
+};
+
+/// Appends `payload` + '\n' to `out` — the send side of the framing.
+/// Throws RuntimeError when the payload itself contains a newline: one
+/// frame is one line by definition, and a payload that breaks that must be
+/// escaped by the caller (the JSON serializer never emits raw newlines in
+/// compact mode).
+void append_frame(std::string& out, std::string_view payload);
+
+}  // namespace ga::util

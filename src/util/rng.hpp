@@ -51,8 +51,29 @@ public:
     /// subsequence, used to create independent streams.
     void jump() noexcept;
 
+    /// Raw 256-bit state, for durable snapshots. A generator restored via
+    /// set_state produces the identical output sequence.
+    [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+        return state_;
+    }
+    void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+        state_ = state;
+    }
+
 private:
     std::array<std::uint64_t, 4> state_{};
+};
+
+/// Serializable mid-stream state of an `Rng` (see Rng::state / from_state).
+/// Captures everything draw-affecting: the 256-bit xoshiro state, the seed
+/// lineage used by split(), and the Box–Muller spare-deviate cache.
+struct RngState {
+    std::array<std::uint64_t, 4> gen{};
+    std::uint64_t lineage = 0;
+    double spare_normal = 0.0;
+    bool has_spare_normal = false;
+
+    bool operator==(const RngState&) const = default;
 };
 
 /// High-level deterministic RNG facade.
@@ -98,6 +119,20 @@ public:
     /// Samples an index from non-negative weights (need not be normalized).
     /// Returns weights.size()-1 if rounding pushes the scan off the end.
     std::size_t categorical(std::span<const double> weights) noexcept;
+
+    /// Mid-stream state for durable snapshots; from_state resumes the exact
+    /// draw sequence (including a cached Box–Muller spare).
+    [[nodiscard]] RngState state() const noexcept {
+        return RngState{gen_.state(), lineage_, spare_normal_,
+                        has_spare_normal_};
+    }
+    [[nodiscard]] static Rng from_state(const RngState& state) noexcept {
+        Rng rng(Xoshiro256StarStar(0), state.lineage);
+        rng.gen_.set_state(state.gen);
+        rng.spare_normal_ = state.spare_normal;
+        rng.has_spare_normal_ = state.has_spare_normal;
+        return rng;
+    }
 
     /// Fisher–Yates shuffle.
     template <typename T>

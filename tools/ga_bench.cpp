@@ -17,6 +17,11 @@
 // `--max-regress` against the same-named committed entry — the CI
 // perf-smoke contract.
 //
+// `--serve SCENARIO` switches to the service-layer benchmark instead: a
+// deterministic pre-rendered request stream replayed through
+// `ServeSession::handle_line`, recorded as a `serve` section
+// (requests/sec) under the same schema and baseline gate.
+//
 // Timings are wall-clock (best of `--repeats`); everything else in the
 // entry (job counts, configs) is deterministic.
 #include <algorithm>
@@ -33,6 +38,8 @@
 #include <vector>
 
 #include "io/json.hpp"
+#include "io/scenario.hpp"
+#include "service/session.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
 #include "util/error.hpp"
@@ -62,6 +69,9 @@ options:
   --sweep-points N   grid points per sweep measurement (default 8)
   --repeats N        timing repeats, best taken (default 3)
   --reference        also time run_reference and record the speedup
+  --serve SCENARIO   measure the service layer instead: replay a generated
+                     request stream through ServeSession (requests/sec)
+  --serve-requests N request lines in the replayed stream (default 20000)
   --output FILE      trajectory file to merge into (default BENCH_sim.json)
   --baseline FILE    compare against FILE's same-named entry after measuring
   --max-regress X    max tolerated jobs/sec drop vs baseline (default 0.30)
@@ -81,6 +91,8 @@ struct CliOptions {
     std::size_t sweep_points = 8;
     std::size_t repeats = 3;
     bool reference = false;
+    std::optional<std::string> serve_scenario;
+    std::size_t serve_requests = 20'000;
     std::string output_path = "BENCH_sim.json";
     std::optional<std::string> baseline_path;
     double max_regress = 0.30;
@@ -167,6 +179,14 @@ CliOptions parse_cli(int argc, char** argv) {
             if (options.repeats == 0) fail_usage("--repeats must be >= 1");
         } else if (arg == "--reference") {
             options.reference = true;
+        } else if (arg == "--serve") {
+            options.serve_scenario = next_arg(argc, argv, i, arg);
+        } else if (arg == "--serve-requests") {
+            options.serve_requests = parse_number<std::size_t>(
+                next_arg(argc, argv, i, arg), arg);
+            if (options.serve_requests == 0) {
+                fail_usage("--serve-requests must be >= 1");
+            }
         } else if (arg == "--output") {
             options.output_path = next_arg(argc, argv, i, arg);
         } else if (arg == "--baseline") {
@@ -227,6 +247,17 @@ void validate_bench_document(const ga::io::JsonValue& root) {
         const auto* config = entry.find("config");
         if (config == nullptr || !config->is_object()) {
             fail_schema(base + ".config", "expected object");
+        }
+        // Two entry shapes share the schema: service-layer entries carry a
+        // `serve` section, simulator entries the generator/simulate/sweep
+        // trio.
+        if (const auto* serve = entry.find("serve"); serve != nullptr) {
+            const std::string spath = base + ".serve";
+            if (!serve->is_object()) fail_schema(spath, "expected object");
+            require_positive(*serve, spath, "requests");
+            require_positive(*serve, spath, "seconds");
+            require_positive(*serve, spath, "requests_per_sec");
+            continue;
         }
         for (const std::string_view section : {"generator", "simulate"}) {
             const auto* s = entry.find(section);
@@ -378,6 +409,86 @@ ga::io::JsonValue measure_entry(const CliOptions& cli) {
     return entry;
 }
 
+/// Service-layer benchmark: replays a deterministic pre-rendered request
+/// stream (account setup, then a fixed rotation of generated submits,
+/// quotes, balances, explicit charges, and stats probes) through a fresh
+/// `ServeSession` per repeat. Rendering happens outside the timed region,
+/// so the figure is the dispatch + scheduling + ledger + response path.
+ga::io::JsonValue measure_serve_entry(const CliOptions& cli) {
+    const ga::io::ScenarioFile scenario =
+        ga::io::load_scenario_file(*cli.serve_scenario);
+
+    constexpr std::size_t kAccounts = 50;
+    std::vector<std::string> lines;
+    lines.reserve(kAccounts + cli.serve_requests);
+    for (std::size_t a = 0; a < kAccounts; ++a) {
+        lines.push_back("{\"id\":" + std::to_string(a + 1) +
+                        ",\"type\":\"create_account\",\"user\":\"b" +
+                        std::to_string(a) + "\",\"budget\":1000000000}");
+    }
+    long long clock_s = 0;
+    for (std::size_t i = 0; i < cli.serve_requests; ++i) {
+        const std::string id = std::to_string(kAccounts + i + 1);
+        std::string user = std::to_string(i % kAccounts);
+        user.insert(user.begin(), 'b');
+        std::string line;
+        switch (i % 10) {
+            case 6:
+                line = "{\"id\":" + id +
+                       ",\"type\":\"quote\",\"user\":\"" + user +
+                       "\",\"cores\":8,\"runtime_ic_s\":3600,"
+                       "\"power_ic_w\":150}";
+                break;
+            case 7:
+                line = "{\"id\":" + id + ",\"type\":\"balance\",\"user\":\"" +
+                       user + "\"}";
+                break;
+            case 8:
+                line = "{\"id\":" + id + ",\"type\":\"charge\",\"user\":\"" +
+                       user +
+                       "\",\"machine\":\"FASTER\",\"duration_s\":60,"
+                       "\"energy_j\":10000,\"cores\":2}";
+                break;
+            case 9:
+                line = "{\"id\":" + id + ",\"type\":\"stats\"}";
+                break;
+            default:  // six submits per ten requests drive the scheduler
+                clock_s += 5;
+                line = "{\"id\":" + id +
+                       ",\"type\":\"submit_jobs\",\"generate\":{\"count\":1,"
+                       "\"start_s\":" +
+                       std::to_string(clock_s) + "}}";
+                break;
+        }
+        lines.push_back(std::move(line));
+    }
+
+    std::fprintf(stderr, "serve: %zu requests over '%s'...\n", lines.size(),
+                 scenario.name.c_str());
+    const double seconds = best_of(cli.repeats, [&] {
+        ga::service::ServeSession session{ga::io::ScenarioFile(scenario)};
+        std::size_t response_bytes = 0;
+        for (const std::string& line : lines) {
+            response_bytes += session.handle_line(line).size();
+        }
+        volatile std::size_t sink = response_bytes;
+        (void)sink;
+    });
+
+    ga::io::JsonValue entry{ga::io::JsonValue::Object{}};
+    ga::io::JsonValue config{ga::io::JsonValue::Object{}};
+    config.set("scenario", scenario.name);
+    config.set("requests", static_cast<double>(lines.size()));
+    config.set("repeats", static_cast<double>(cli.repeats));
+    entry.set("config", std::move(config));
+    ga::io::JsonValue serve{ga::io::JsonValue::Object{}};
+    serve.set("requests", static_cast<double>(lines.size()));
+    serve.set("seconds", seconds);
+    serve.set("requests_per_sec", static_cast<double>(lines.size()) / seconds);
+    entry.set("serve", std::move(serve));
+    return entry;
+}
+
 // ---- trajectory file handling ----------------------------------------------
 
 ga::io::JsonValue load_or_init_trajectory(const std::string& path) {
@@ -413,11 +524,15 @@ int run(const CliOptions& cli) {
         return 0;
     }
 
-    ga::io::JsonValue entry = measure_entry(cli);
-    const double measured =
-        entry.at("simulate").at("jobs_per_sec").as_number();
-    std::fprintf(stderr, "entry '%s': simulate %.0f jobs/sec\n",
-                 cli.entry.c_str(), measured);
+    ga::io::JsonValue entry = cli.serve_scenario.has_value()
+                                  ? measure_serve_entry(cli)
+                                  : measure_entry(cli);
+    const bool is_serve = entry.find("serve") != nullptr;
+    const char* section = is_serve ? "serve" : "simulate";
+    const char* metric = is_serve ? "requests_per_sec" : "jobs_per_sec";
+    const double measured = entry.at(section).at(metric).as_number();
+    std::fprintf(stderr, "entry '%s': %s %.0f %s\n", cli.entry.c_str(),
+                 section, measured, metric);
 
     ga::io::JsonValue doc = load_or_init_trajectory(cli.output_path);
     // `set` replaces in place, so re-running an entry updates it while
@@ -435,17 +550,20 @@ int run(const CliOptions& cli) {
             throw ga::util::RuntimeError(
                 "ga-bench: baseline has no entry \"" + cli.entry + "\"");
         }
-        const double base =
-            base_entry->at("simulate").at("jobs_per_sec").as_number();
+        if (base_entry->find(section) == nullptr) {
+            throw ga::util::RuntimeError(
+                "ga-bench: baseline entry \"" + cli.entry +
+                "\" has no \"" + section + "\" section to compare against");
+        }
+        const double base = base_entry->at(section).at(metric).as_number();
         const double floor = base * (1.0 - cli.max_regress);
         std::fprintf(stderr,
-                     "baseline %.0f jobs/sec, floor %.0f (max regress %.0f%%)\n",
-                     base, floor, cli.max_regress * 100.0);
+                     "baseline %.0f %s, floor %.0f (max regress %.0f%%)\n",
+                     base, metric, floor, cli.max_regress * 100.0);
         if (measured < floor) {
             std::fprintf(stderr,
-                         "ga-bench: REGRESSION: %.0f jobs/sec is below the "
-                         "floor\n",
-                         measured);
+                         "ga-bench: REGRESSION: %.0f %s is below the floor\n",
+                         measured, metric);
             return 1;
         }
     }

@@ -1,0 +1,327 @@
+// ga-serve — the long-running allocation service over a scenario file.
+//
+// Loads a JSON scenario (io/scenario.hpp), resolves its first expanded grid
+// point into a live ServeSession (service/session.hpp), and speaks the
+// line-delimited JSON request/response protocol (service/protocol.hpp) over
+// stdin/stdout — and, with --socket, additionally over a local AF_UNIX
+// stream socket multiplexed onto the same single-threaded session.
+//
+// Responses go to the transport the request arrived on; stderr carries
+// startup/progress notes so stdout stays a pure protocol transcript. The
+// daemon exits on a `shutdown` request or stdin EOF. Determinism contract:
+// the same scenario plus the same stdin request lines produce a
+// byte-identical stdout transcript (see service/session.hpp), which the
+// committed golden session in examples/serve/ pins in CI — including across
+// a checkpoint/--restore split.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/scenario.hpp"
+#include "service/session.hpp"
+#include "service/snapshot.hpp"
+#include "util/error.hpp"
+#include "util/framing.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GA_SERVE_HAVE_SOCKETS 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define GA_SERVE_HAVE_SOCKETS 0
+#endif
+
+namespace {
+
+constexpr std::string_view kUsage =
+    R"USAGE(usage: ga-serve <scenario.json> [options]
+
+Serves the scenario's first expanded grid point as a persistent allocation
+service: one JSON request per stdin line, one JSON response per stdout line
+(request types: create_account, submit_jobs, quote, charge, refund, balance,
+stats, advance, checkpoint, shutdown). Exits on `shutdown` or stdin EOF.
+
+options:
+  --restore FILE   restore session state from a ga-serve snapshot before
+                   serving (the snapshot must match this scenario)
+  --socket PATH    additionally listen on a local AF_UNIX stream socket;
+                   each connection speaks the same line protocol
+  --scale X        scale the workload's configured base_jobs by X (affects
+                   only the generate-path user pool sizing consistency with
+                   ga-sim; the service itself generates jobs on demand)
+  --help           show this message
+)USAGE";
+
+struct CliOptions {
+    std::string scenario_path;
+    std::optional<std::string> restore_path;
+    std::optional<std::string> socket_path;
+    std::optional<double> scale;
+};
+
+[[noreturn]] void fail_usage(const std::string& message) {
+    std::fprintf(stderr, "ga-serve: %s\n\n%s", message.c_str(),
+                 std::string(kUsage).c_str());
+    std::exit(2);
+}
+
+std::string next_arg(int argc, char** argv, int& i, std::string_view flag) {
+    if (i + 1 >= argc) {
+        fail_usage(std::string(flag) + " requires an argument");
+    }
+    return argv[++i];
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+    CliOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(std::string(kUsage).c_str(), stdout);
+            std::exit(0);
+        } else if (arg == "--restore") {
+            options.restore_path = next_arg(argc, argv, i, arg);
+        } else if (arg == "--socket") {
+            options.socket_path = next_arg(argc, argv, i, arg);
+        } else if (arg == "--scale") {
+            const std::string value = next_arg(argc, argv, i, arg);
+            try {
+                options.scale = std::stod(value);
+            } catch (const std::exception&) {
+                fail_usage("--scale needs a number, got '" + value + "'");
+            }
+            if (!(*options.scale > 0.0)) {
+                fail_usage("--scale must be positive");
+            }
+        } else if (!arg.empty() && arg.front() == '-') {
+            fail_usage("unknown option '" + std::string(arg) + "'");
+        } else if (options.scenario_path.empty()) {
+            options.scenario_path = arg;
+        } else {
+            fail_usage("unexpected extra argument '" + std::string(arg) + "'");
+        }
+    }
+    if (options.scenario_path.empty()) {
+        fail_usage("missing scenario file");
+    }
+    return options;
+}
+
+/// Responds to every complete frame buffered in `framer`; returns false
+/// once a shutdown was acknowledged.
+bool drain_frames(ga::service::ServeSession& session,
+                  ga::util::LineFramer& framer, std::FILE* out) {
+    while (auto frame = framer.next()) {
+        const std::string response = session.handle_line(*frame);
+        std::fwrite(response.data(), 1, response.size(), out);
+        std::fputc('\n', out);
+        std::fflush(out);
+        if (session.shutdown_requested()) return false;
+    }
+    return true;
+}
+
+/// stdin/stdout-only loop (also the non-socket fallback everywhere).
+int serve_stdio(ga::service::ServeSession& session) {
+    ga::util::LineFramer framer;
+    char buffer[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, stdin)) > 0) {
+        framer.feed(std::string_view(buffer, n));
+        if (!drain_frames(session, framer, stdout)) return 0;
+    }
+    if (auto last = framer.finish()) {
+        const std::string response = session.handle_line(*last);
+        std::fwrite(response.data(), 1, response.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+    }
+    return 0;
+}
+
+#if GA_SERVE_HAVE_SOCKETS
+
+/// One connected socket client with its own framing buffer.
+struct SocketClient {
+    int fd = -1;
+    ga::util::LineFramer framer;
+};
+
+/// Sends all of `response` + '\n' on a socket fd; returns false on error.
+bool send_line(int fd, const std::string& response) {
+    std::string out = response;
+    out.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t n = ::write(fd, out.data() + sent, out.size() - sent);
+        if (n <= 0) return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// stdin + AF_UNIX listener multiplexed with poll(); the session stays
+/// single-threaded — requests are handled in arrival order.
+int serve_multiplexed(ga::service::ServeSession& session,
+                      const std::string& socket_path) {
+    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+        std::fprintf(stderr, "ga-serve: cannot create socket: %s\n",
+                     std::strerror(errno));
+        return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof addr.sun_path) {
+        std::fprintf(stderr, "ga-serve: socket path too long\n");
+        ::close(listen_fd);
+        return 1;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    ::unlink(socket_path.c_str());
+    if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd, 8) != 0) {
+        std::fprintf(stderr, "ga-serve: cannot bind %s: %s\n",
+                     socket_path.c_str(), std::strerror(errno));
+        ::close(listen_fd);
+        return 1;
+    }
+    std::fprintf(stderr, "ga-serve: listening on %s\n", socket_path.c_str());
+
+    ga::util::LineFramer stdin_framer;
+    std::vector<SocketClient> clients;
+    bool stdin_open = true;
+    bool running = true;
+    while (running) {
+        std::vector<pollfd> fds;
+        if (stdin_open) fds.push_back(pollfd{0, POLLIN, 0});
+        fds.push_back(pollfd{listen_fd, POLLIN, 0});
+        for (const SocketClient& client : clients) {
+            fds.push_back(pollfd{client.fd, POLLIN, 0});
+        }
+        if (::poll(fds.data(), fds.size(), -1) < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        std::size_t idx = 0;
+        if (stdin_open) {
+            if ((fds[idx].revents & (POLLIN | POLLHUP)) != 0) {
+                char buffer[1 << 16];
+                const ssize_t n = ::read(0, buffer, sizeof buffer);
+                if (n <= 0) {
+                    // stdin EOF ends the daemon: the driving process is gone.
+                    running = false;
+                } else {
+                    stdin_framer.feed(
+                        std::string_view(buffer, static_cast<std::size_t>(n)));
+                    if (!drain_frames(session, stdin_framer, stdout)) {
+                        running = false;
+                    }
+                }
+            }
+            ++idx;
+        }
+        if (running && (fds[idx].revents & POLLIN) != 0) {
+            const int client_fd = ::accept(listen_fd, nullptr, nullptr);
+            if (client_fd >= 0) {
+                SocketClient client;
+                client.fd = client_fd;
+                clients.push_back(std::move(client));
+            }
+        }
+        ++idx;
+        for (std::size_t c = 0; running && c < clients.size();) {
+            SocketClient& client = clients[c];
+            if (idx + c >= fds.size() ||
+                (fds[idx + c].revents & (POLLIN | POLLHUP)) == 0) {
+                ++c;
+                continue;
+            }
+            char buffer[1 << 16];
+            const ssize_t n = ::read(client.fd, buffer, sizeof buffer);
+            bool drop = n <= 0;
+            if (n > 0) {
+                client.framer.feed(
+                    std::string_view(buffer, static_cast<std::size_t>(n)));
+                while (auto frame = client.framer.next()) {
+                    const std::string response = session.handle_line(*frame);
+                    if (!send_line(client.fd, response)) {
+                        drop = true;
+                        break;
+                    }
+                    if (session.shutdown_requested()) {
+                        running = false;
+                        break;
+                    }
+                }
+            }
+            if (drop) {
+                ::close(client.fd);
+                clients.erase(clients.begin() +
+                              static_cast<std::ptrdiff_t>(c));
+            } else {
+                ++c;
+            }
+        }
+    }
+    for (const SocketClient& client : clients) ::close(client.fd);
+    ::close(listen_fd);
+    ::unlink(socket_path.c_str());
+    return 0;
+}
+
+#endif  // GA_SERVE_HAVE_SOCKETS
+
+int run(const CliOptions& options) {
+    ga::io::ScenarioFile scenario =
+        ga::io::load_scenario_file(options.scenario_path);
+    if (options.scale.has_value()) scenario.scale_workload(*options.scale);
+
+    std::optional<ga::service::SessionState> restored;
+    if (options.restore_path.has_value()) {
+        restored = ga::service::read_snapshot_file(*options.restore_path);
+    }
+    ga::service::ServeSession session =
+        restored.has_value()
+            ? ga::service::ServeSession(std::move(scenario), *restored)
+            : ga::service::ServeSession(std::move(scenario));
+    if (session.grid_points() > 1) {
+        std::fprintf(stderr,
+                     "ga-serve: scenario grid expands to %zu points; serving "
+                     "only the first\n",
+                     session.grid_points());
+    }
+    std::fprintf(stderr, "ga-serve: ready\n");
+
+#if GA_SERVE_HAVE_SOCKETS
+    if (options.socket_path.has_value()) {
+        return serve_multiplexed(session, *options.socket_path);
+    }
+#else
+    if (options.socket_path.has_value()) {
+        std::fprintf(stderr,
+                     "ga-serve: --socket is not supported on this platform\n");
+        return 1;
+    }
+#endif
+    return serve_stdio(session);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        return run(parse_cli(argc, argv));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "ga-serve: error: %s\n", e.what());
+        return 1;
+    }
+}
