@@ -5,9 +5,50 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace ga::acct {
+
+namespace {
+
+/// Accounting instruments. Handles are resolved once per process via the
+/// function-local static, always before the ledger lock is taken; the
+/// `inc()` calls themselves never lock, so incrementing inside a locked
+/// region cannot create a new lock-order edge.
+struct LedgerMetrics {
+    ga::obs::Counter& charges_admitted;
+    ga::obs::Counter& charges_refused;
+    ga::obs::Counter& refunds;
+    ga::obs::Counter& lock_contention;
+};
+
+LedgerMetrics& ledger_metrics() {
+    auto& registry = ga::obs::Registry::global();
+    static LedgerMetrics metrics{
+        registry.counter_handle("ledger.charges_admitted"),
+        registry.counter_handle("ledger.charges_refused"),
+        registry.counter_handle("ledger.refunds"),
+        registry.counter_handle("ledger.lock_contention"),
+    };
+    return metrics;
+}
+
+/// Samples whether the ledger lock is currently held by someone else, just
+/// before this thread blocks on it. A time-of-check signal, not an exact
+/// wait count — but it never perturbs admission, and when metrics are off
+/// it costs a single relaxed load.
+void probe_ledger_contention(ga::util::Mutex& mutex,
+                             ga::obs::Counter& contention) {
+    if (!ga::obs::metrics_enabled()) return;
+    if (mutex.try_lock()) {
+        mutex.unlock();
+    } else {
+        contention.inc();
+    }
+}
+
+}  // namespace
 
 Allocation::Allocation(double budget) : budget_(budget) {
     GA_REQUIRE(budget > 0.0, "allocation: budget must be positive");
@@ -223,14 +264,20 @@ double Ledger::charge(const std::string& user, const Accountant& accountant,
                       const JobUsage& usage, const ga::machine::CatalogEntry& m) {
     // Price outside the lock: accountants are immutable and may be slow.
     const double cost = accountant.charge(usage, m);
+    LedgerMetrics& metrics = ledger_metrics();
+    probe_ledger_contention(mutex_, metrics.lock_contention);
     const ga::util::LockGuard lock(mutex_);
     Account* a = find_account(user);
     if (a == nullptr) throw_unknown_user(user);
     auto& holding = sole_holding(*a);
-    if (!holding.charge(cost)) return -1.0;
+    if (!holding.charge(cost)) {
+        metrics.charges_refused.inc();
+        return -1.0;
+    }
     history_.push_back(record(user, m.node.name,
                               a->holdings.begin()->first, accountant.unit(),
                               cost, usage));
+    metrics.charges_admitted.inc();
     return cost;
 }
 
@@ -244,6 +291,7 @@ ChargeOutcome Ledger::charge(const std::string& user, const JobUsage& usage,
     // admit a job priced against a replaced configuration. The retry cap
     // turns a pathological reconfiguration storm into an error instead of
     // a livelock.
+    LedgerMetrics& metrics = ledger_metrics();
     for (int attempt = 0; attempt < 64; ++attempt) {
         ChargeOutcome outcome;
         std::vector<std::pair<std::string, std::shared_ptr<const Accountant>>>
@@ -275,6 +323,7 @@ ChargeOutcome Ledger::charge(const std::string& user, const JobUsage& usage,
                                         "' quoted a negative cost");
         }
 
+        probe_ledger_contention(mutex_, metrics.lock_contention);
         const ga::util::LockGuard lock(mutex_);
         Account* a = find_account(user);
         if (a == nullptr) throw_unknown_user(user);
@@ -296,6 +345,7 @@ ChargeOutcome Ledger::charge(const std::string& user, const JobUsage& usage,
             if (!a->holdings.at(currency).can_afford(
                     outcome.costs.at(currency))) {
                 outcome.refused_currency = currency;
+                metrics.charges_refused.inc();
                 return outcome;  // all-or-nothing: nothing was debited
             }
         }
@@ -309,6 +359,7 @@ ChargeOutcome Ledger::charge(const std::string& user, const JobUsage& usage,
             outcome.transactions.push_back(history_.back().id);
         }
         outcome.admitted = true;
+        metrics.charges_admitted.inc();
         return outcome;
     }
     throw ga::util::RuntimeError(
@@ -318,6 +369,8 @@ ChargeOutcome Ledger::charge(const std::string& user, const JobUsage& usage,
 
 std::uint64_t Ledger::refund(const std::string& user,
                              std::uint64_t transaction_id) {
+    LedgerMetrics& metrics = ledger_metrics();
+    probe_ledger_contention(mutex_, metrics.lock_contention);
     const ga::util::LockGuard lock(mutex_);
     Account* a = find_account(user);
     if (a == nullptr) throw_unknown_user(user);
@@ -360,6 +413,7 @@ std::uint64_t Ledger::refund(const std::string& user,
     t.cost = -t.cost;
     t.refund_of = transaction_id;
     history_.push_back(std::move(t));
+    metrics.refunds.inc();
     return history_.back().id;
 }
 

@@ -2,9 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace ga::faas {
+
+namespace {
+
+/// Monitor instruments, replacing the ad-hoc per-endpoint tallies earlier
+/// revisions kept alongside `samples_seen` (which stays: it drives the
+/// refit cadence and the public sample_count()).
+struct MonitorMetrics {
+    ga::obs::Counter& power_samples;
+    ga::obs::Counter& counter_samples;
+    ga::obs::Counter& model_refits;
+    ga::obs::Counter& attributions;
+};
+
+MonitorMetrics& monitor_metrics() {
+    auto& registry = ga::obs::Registry::global();
+    static MonitorMetrics metrics{
+        registry.counter_handle("faas.power_samples"),
+        registry.counter_handle("faas.counter_samples"),
+        registry.counter_handle("faas.model_refits"),
+        registry.counter_handle("faas.attributions"),
+    };
+    return metrics;
+}
+
+}  // namespace
 
 EndpointMonitor::EndpointMonitor(Broker* broker, std::string group,
                                  std::size_t refit_every)
@@ -18,11 +44,13 @@ void EndpointMonitor::poll() {
         return;  // no endpoint has produced yet
     }
 
+    MonitorMetrics& metrics = monitor_metrics();
     // Counters first so power samples can be aligned with them immediately.
     for (std::size_t p = 0; p < broker_->partition_count(kCounterTopic); ++p) {
         for (const auto& msg : broker_->consume(group_, kCounterTopic, p, 100000)) {
             const CounterSample cs = decode_counters(msg.value);
             endpoints_[cs.endpoint].pending_counters[cs.t_seconds].push_back(cs);
+            metrics.counter_samples.inc();
         }
     }
     for (std::size_t p = 0; p < broker_->partition_count(kPowerTopic); ++p) {
@@ -47,6 +75,7 @@ void EndpointMonitor::poll() {
             }
             state.last_t = ps.t_seconds;
             ++state.samples_seen;
+            metrics.power_samples.inc();
             state.fit_buffer.push_back(s);
             if (state.fit_buffer.size() > kFitBufferCap) {
                 state.fit_buffer.erase(state.fit_buffer.begin());
@@ -73,6 +102,7 @@ void EndpointMonitor::refit(EndpointState& state) {
         y.push_back(s.watts);
     }
     state.fit = ga::stats::ols_fit(rows, 3, y, /*with_intercept=*/true);
+    monitor_metrics().model_refits.inc();
 }
 
 void EndpointMonitor::attribute(EndpointState& state) {
@@ -89,6 +119,7 @@ void EndpointMonitor::attribute(EndpointState& state) {
             task_energy_[cs.task_id] += watts * state.interval;
         }
     }
+    monitor_metrics().attributions.inc(state.window.size());
     state.window.clear();
 }
 

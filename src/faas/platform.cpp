@@ -2,9 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace ga::faas {
+
+namespace {
+
+/// Platform instruments: invocation admission outcomes.
+struct PlatformMetrics {
+    ga::obs::Counter& invocations_accepted;
+    ga::obs::Counter& invocations_rejected;
+};
+
+PlatformMetrics& platform_metrics() {
+    auto& registry = ga::obs::Registry::global();
+    static PlatformMetrics metrics{
+        registry.counter_handle("faas.invocations_accepted"),
+        registry.counter_handle("faas.invocations_rejected"),
+    };
+    return metrics;
+}
+
+}  // namespace
 
 GreenAccess::GreenAccess(std::unique_ptr<const ga::acct::Accountant> accountant)
     : accountant_(std::move(accountant)), monitor_(&broker_) {
@@ -50,10 +70,12 @@ InvocationResult GreenAccess::submit(const std::string& user,
                                      const ga::machine::WorkProfile& profile,
                                      int cores, const std::string& machine) {
     InvocationResult result;
+    PlatformMetrics& metrics = platform_metrics();
 
     // ---- access control ----
     if (!ledger_.has_account(user)) {
         result.reject_reason = "unknown user";
+        metrics.invocations_rejected.inc();
         return result;
     }
 
@@ -67,6 +89,7 @@ InvocationResult GreenAccess::submit(const std::string& user,
         const auto it = endpoints_.find(machine);
         if (it == endpoints_.end()) {
             result.reject_reason = "unknown machine";
+            metrics.invocations_rejected.inc();
             return result;
         }
         target = it->second.get();
@@ -77,6 +100,7 @@ InvocationResult GreenAccess::submit(const std::string& user,
         profile, target->machine(), cores, *accountant_, clock_);
     if (ledger_.remaining(user) < estimate.cost) {
         result.reject_reason = "insufficient allocation";
+        metrics.invocations_rejected.inc();
         return result;
     }
 
@@ -102,10 +126,12 @@ InvocationResult GreenAccess::submit(const std::string& user,
         // the provider absorbs the overrun but the job is reported rejected
         // for accounting purposes.
         result.reject_reason = "allocation exhausted at settlement";
+        metrics.invocations_rejected.inc();
         return result;
     }
 
     result.accepted = true;
+    metrics.invocations_accepted.inc();
     result.machine = ep->machine().node.name;
     result.task_id = exec.task_id;
     result.duration_s = exec.seconds();

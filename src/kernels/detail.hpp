@@ -1,24 +1,16 @@
 // Internal helpers shared by the kernel implementations.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
+
+#include "obs/walltime.hpp"
 
 namespace ga::kernels::detail {
 
-/// Wall-clock timer for the informational `wall_seconds` field.
-class WallTimer {
-public:
-    WallTimer() : start_(std::chrono::steady_clock::now()) {}
-
-    [[nodiscard]] double seconds() const {
-        const auto now = std::chrono::steady_clock::now();
-        return std::chrono::duration<double>(now - start_).count();
-    }
-
-private:
-    std::chrono::steady_clock::time_point start_;
-};
+/// Wall-clock timer for the informational `wall_seconds` field — the obs
+/// timer, so the wall-clock read stays inside the sanctioned module (see
+/// the ga-lint rule `obs-wallclock-outside-obs`).
+using WallTimer = ga::obs::WallTimer;
 
 /// Cheap deterministic value generator for input data (not statistics-grade;
 /// kernels only need reproducible, well-spread inputs).

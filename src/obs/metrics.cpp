@@ -1,0 +1,275 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ga::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Shortest round-trip rendering, matching io/json's number style so the
+/// deterministic export is stable across platforms.
+std::string format_double(double v) {
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; exports clamp to null-ish sentinel strings
+        // never expected in practice (observed values are finite).
+        return v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    return std::string(buf, res.ptr);
+}
+
+/// JSON string escaping for instrument names (conservative: names are
+/// dotted identifiers, but a stray quote must not corrupt the document).
+std::string escape_json(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default: out += c; break;
+        }
+    }
+    return out;
+}
+
+/// Prometheus metric name: `[a-zA-Z_][a-zA-Z0-9_]*`, prefixed `ga_`.
+std::string prometheus_name(std::string_view name) {
+    std::string out = "ga_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+    return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) noexcept {
+    g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t stripe_of_thread() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Counter
+
+std::uint64_t Counter::value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : stripes_) {
+        total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)),
+      bounds_(std::move(bounds)),
+      width_(bounds_.size() + 1),
+      counts_(detail::kStripes * width_) {
+    GA_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "obs: histogram bounds must be ascending");
+}
+
+void Histogram::observe(double v) noexcept {
+    if (!metrics_enabled()) return;
+    // First bound >= v (Prometheus `le` buckets); past-the-end = +Inf.
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+    const std::size_t stripe = detail::stripe_of_thread();
+    counts_[stripe * width_ + bucket].value.fetch_add(
+        1, std::memory_order_relaxed);
+    sums_[stripe].accumulate(v);
+}
+
+std::uint64_t Histogram::bucket_value(std::size_t i) const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < detail::kStripes; ++s) {
+        total += counts_[s * width_ + i].value.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+std::uint64_t Histogram::total_count() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < width_; ++i) total += bucket_value(i);
+    return total;
+}
+
+double Histogram::total_sum() const noexcept {
+    double total = 0.0;
+    for (const auto& s : sums_) {
+        total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::global() {
+    static Registry registry;
+    return registry;
+}
+
+Counter& Registry::counter_handle(std::string_view name) {
+    const ga::util::LockGuard lock(registry_mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+    auto [pos, inserted] = counters_.emplace(
+        std::string(name),
+        std::unique_ptr<Counter>(new Counter(std::string(name))));
+    return *pos->second;
+}
+
+Gauge& Registry::gauge_handle(std::string_view name) {
+    const ga::util::LockGuard lock(registry_mutex_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+    auto [pos, inserted] = gauges_.emplace(
+        std::string(name), std::unique_ptr<Gauge>(new Gauge(std::string(name))));
+    return *pos->second;
+}
+
+Histogram& Registry::histogram_handle(std::string_view name,
+                                      std::vector<double> bounds) {
+    const ga::util::LockGuard lock(registry_mutex_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+        GA_REQUIRE(it->second->bounds() == bounds,
+                   "obs: histogram '" + std::string(name) +
+                       "' re-registered with different bounds");
+        return *it->second;
+    }
+    auto [pos, inserted] = histograms_.emplace(
+        std::string(name), std::unique_ptr<Histogram>(new Histogram(
+                               std::string(name), std::move(bounds))));
+    return *pos->second;
+}
+
+std::string Registry::render_prometheus() const {
+    const ga::util::LockGuard lock(registry_mutex_);
+    std::string out;
+    for (const auto& [name, counter] : counters_) {
+        const std::string pname = prometheus_name(name);
+        out += "# TYPE " + pname + " counter\n";
+        out += pname + " " + std::to_string(counter->value()) + "\n";
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        const std::string pname = prometheus_name(name);
+        out += "# TYPE " + pname + " gauge\n";
+        out += pname + " " + format_double(gauge->value()) + "\n";
+    }
+    for (const auto& [name, histogram] : histograms_) {
+        const std::string pname = prometheus_name(name);
+        out += "# TYPE " + pname + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < histogram->bucket_count(); ++i) {
+            cumulative += histogram->bucket_value(i);
+            const std::string le =
+                i < histogram->bounds().size()
+                    ? format_double(histogram->bounds()[i])
+                    : std::string("+Inf");
+            out += pname + "_bucket{le=\"" + le + "\"} " +
+                   std::to_string(cumulative) + "\n";
+        }
+        out += pname + "_sum " + format_double(histogram->total_sum()) + "\n";
+        out += pname + "_count " + std::to_string(cumulative) + "\n";
+    }
+    return out;
+}
+
+std::string Registry::render_json() const {
+    const ga::util::LockGuard lock(registry_mutex_);
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, counter] : counters_) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        out += escape_json(name);
+        out += "\":";
+        out += std::to_string(counter->value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, gauge] : gauges_) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        out += escape_json(name);
+        out += "\":";
+        out += format_double(gauge->value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, histogram] : histograms_) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        out += escape_json(name);
+        out += "\":{\"bounds\":[";
+        for (std::size_t i = 0; i < histogram->bounds().size(); ++i) {
+            if (i != 0) out += ",";
+            out += format_double(histogram->bounds()[i]);
+        }
+        out += "],\"counts\":[";
+        for (std::size_t i = 0; i < histogram->bucket_count(); ++i) {
+            if (i != 0) out += ",";
+            out += std::to_string(histogram->bucket_value(i));
+        }
+        out += "],\"sum\":" + format_double(histogram->total_sum());
+        out += ",\"count\":" + std::to_string(histogram->total_count()) + "}";
+    }
+    out += "}}";
+    return out;
+}
+
+void Registry::zero_all() {
+    const ga::util::LockGuard lock(registry_mutex_);
+    for (const auto& [name, counter] : counters_) {
+        for (auto& s : counter->stripes_) {
+            s.value.store(0, std::memory_order_relaxed);
+        }
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        gauge->value_.store(0.0, std::memory_order_relaxed);
+    }
+    for (const auto& [name, histogram] : histograms_) {
+        for (auto& s : histogram->counts_) {
+            s.value.store(0, std::memory_order_relaxed);
+        }
+        for (auto& s : histogram->sums_) {
+            s.value.store(0.0, std::memory_order_relaxed);
+        }
+    }
+}
+
+}  // namespace ga::obs

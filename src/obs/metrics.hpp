@@ -1,0 +1,209 @@
+// Metrics half of the observability module: a thread-safe registry of
+// named counters, gauges, and fixed-bucket histograms.
+//
+// Design contract (docs/ARCHITECTURE.md, "Observability"):
+//
+//   * Zero-cost when off. Every hot-path mutation first reads one relaxed
+//     atomic flag (`metrics_enabled()`); with metrics disabled the mutation
+//     is a load + predicted branch and touches no shared cacheline.
+//   * Never perturbs results. Metrics are write-only from the measured
+//     code's point of view: values are read exclusively by the exposition
+//     methods, so simulation output stays byte-identical with metrics on or
+//     off at any thread count (pinned by ctest).
+//   * Hot path is lock-free. Counters and histograms accumulate into
+//     cacheline-padded stripes of relaxed atomics indexed by a per-thread
+//     stripe id; the registry mutex is only taken to resolve a handle by
+//     name or to render an exposition. Callers resolve handles once
+//     (outside any lock) and keep the reference — `Counter&`/`Gauge&`/
+//     `Histogram&` stay valid for the registry's lifetime.
+//
+// Lock hierarchy: `Registry::registry_mutex_` is a leaf — it orders after
+// the accounting and infrastructure locks and nothing is acquired under it.
+// Instrumented code must resolve handles *before* entering a locked region
+// (the handle methods take the registry mutex; the mutation methods never
+// lock).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace ga::obs {
+
+/// Process-wide metrics switch (relaxed atomic; default off). Flipping it
+/// mid-measurement is allowed but makes gauges best-effort.
+[[nodiscard]] bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool on) noexcept;
+
+namespace detail {
+
+/// Number of accumulation stripes per instrument. Threads are assigned
+/// stripes round-robin, so up to this many writers never share a cacheline.
+inline constexpr std::size_t kStripes = 16;
+
+/// One cacheline-padded relaxed accumulator.
+struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> value{0};
+};
+
+/// Cacheline-padded double accumulator (CAS add; uncontended per stripe).
+struct alignas(64) DoubleStripe {
+    std::atomic<double> value{0.0};
+
+    void accumulate(double delta) noexcept {
+        double cur = value.load(std::memory_order_relaxed);
+        while (!value.compare_exchange_weak(cur, cur + delta,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+};
+
+/// Stripe index of the calling thread (assigned round-robin on first use).
+[[nodiscard]] std::size_t stripe_of_thread() noexcept;
+
+}  // namespace detail
+
+/// Monotonic event count. `value()` is exact once writers have quiesced
+/// (e.g. after a thread join); mid-flight reads may lag.
+class Counter {
+public:
+    Counter(const Counter&) = delete;
+    Counter& operator=(const Counter&) = delete;
+
+    void inc(std::uint64_t delta = 1) noexcept {
+        if (!metrics_enabled()) return;
+        stripes_[detail::stripe_of_thread()].value.fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t value() const noexcept;
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    friend class Registry;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    std::string name_;
+    std::array<detail::Stripe, detail::kStripes> stripes_;
+};
+
+/// Instantaneous level (e.g. pool occupancy). `set_value` is last-writer
+/// -wins; `add_value` is an atomic delta. Best-effort by design: if the
+/// metrics switch flips between a paired +1/-1 the level drifts, which is
+/// acceptable for a diagnostic.
+class Gauge {
+public:
+    Gauge(const Gauge&) = delete;
+    Gauge& operator=(const Gauge&) = delete;
+
+    void set_value(double v) noexcept {
+        if (!metrics_enabled()) return;
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void add_value(double delta) noexcept {
+        if (!metrics_enabled()) return;
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+
+    [[nodiscard]] double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    friend class Registry;
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+    std::string name_;
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds
+/// (Prometheus `le` semantics); one implicit +Inf bucket is appended.
+/// Counts are exact-sum across threads; the sum accumulates per stripe, so
+/// it is exact whenever the observed values add without rounding.
+class Histogram {
+public:
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    void observe(double v) noexcept;
+
+    /// Number of buckets including the +Inf overflow bucket.
+    [[nodiscard]] std::size_t bucket_count() const noexcept { return width_; }
+    /// Observations in bucket `i` (not cumulative); `i < bucket_count()`.
+    [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const noexcept;
+    [[nodiscard]] std::uint64_t total_count() const noexcept;
+    [[nodiscard]] double total_sum() const noexcept;
+    [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+        return bounds_;
+    }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    friend class Registry;
+    Histogram(std::string name, std::vector<double> bounds);
+
+    std::string name_;
+    std::vector<double> bounds_;  ///< ascending upper bounds (finite)
+    std::size_t width_;           ///< bounds_.size() + 1 (+Inf bucket)
+    std::vector<detail::Stripe> counts_;  ///< kStripes x width_
+    std::array<detail::DoubleStripe, detail::kStripes> sums_;
+};
+
+/// Named-instrument registry. `global()` is the process registry every
+/// instrumented module reports to; separate instances are constructible for
+/// isolation (tests render expositions without cross-talk).
+class Registry {
+public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    static Registry& global();
+
+    /// Finds or creates the named instrument. References stay valid for
+    /// the registry's lifetime. A histogram's bounds are fixed by the first
+    /// call; later calls with different bounds throw.
+    Counter& counter_handle(std::string_view name);
+    Gauge& gauge_handle(std::string_view name);
+    Histogram& histogram_handle(std::string_view name,
+                                std::vector<double> bounds);
+
+    /// Prometheus text exposition (instruments sorted by name).
+    [[nodiscard]] std::string render_prometheus() const;
+
+    /// Deterministic JSON export: sorted keys, shortest-round-trip numbers.
+    /// Byte-stable given the same recorded values (the registry cannot use
+    /// io/json — io is a higher layer — so the writer is local).
+    [[nodiscard]] std::string render_json() const;
+
+    /// Zeroes every registered value (instruments stay registered).
+    void zero_all();
+
+private:
+    /// Leaf of the declared lock hierarchy: handle resolution and
+    /// exposition only; nothing else is ever acquired under it.
+    mutable ga::util::Mutex registry_mutex_ GA_ACQUIRED_AFTER(
+        ga::acct::Ledger::mutex_, ga::util::ThreadPool::mutex_);
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+        GA_GUARDED_BY(registry_mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+        GA_GUARDED_BY(registry_mutex_);
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+        GA_GUARDED_BY(registry_mutex_);
+};
+
+}  // namespace ga::obs

@@ -1,0 +1,178 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "obs/walltime.hpp"
+
+namespace ga::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+std::atomic<bool> g_trace_wallclock{false};
+
+/// Tracer identity for the per-thread ring cache: ids are never reused, so
+/// a stale cache entry for a destroyed tracer can never be matched.
+std::uint64_t next_tracer_id() {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string format_double(double v) {
+    if (!std::isfinite(v)) return v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    return std::string(buf, res.ptr);
+}
+
+std::string escape_json(const char* s) {
+    std::string out;
+    for (; *s != '\0'; ++s) {
+        switch (*s) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default: out += *s; break;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+    return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) noexcept {
+    g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool trace_wallclock_enabled() noexcept {
+    return g_trace_wallclock.load(std::memory_order_relaxed);
+}
+
+void set_trace_wallclock(bool on) noexcept {
+    g_trace_wallclock.store(on, std::memory_order_relaxed);
+}
+
+Tracer::Tracer() : id_(next_tracer_id()) {}
+
+Tracer& Tracer::global() {
+    static Tracer tracer;
+    return tracer;
+}
+
+Tracer::Ring& Tracer::ring_for_thread() {
+    // Lock-free fast path: the thread's cache is keyed by the tracer's
+    // process-unique id, which survives tracer destruction + address reuse
+    // (ids are monotonic, so a stale entry never matches a live tracer).
+    thread_local std::vector<std::pair<std::uint64_t, Ring*>> cache;
+    for (const auto& [id, ring] : cache) {
+        if (id == id_) return *ring;
+    }
+    auto owned = std::make_unique<Ring>();
+    Ring* raw = owned.get();
+    {
+        const ga::util::LockGuard lock(trace_mutex_);
+        raw->tid = static_cast<std::uint32_t>(rings_.size());
+        rings_.push_back(std::move(owned));
+    }
+    cache.emplace_back(id_, raw);
+    return *raw;
+}
+
+void Tracer::record(const char* name, double ts_s, SpanPhase phase) noexcept {
+    if (!tracing_enabled()) return;
+    try {
+        Ring& ring = ring_for_thread();
+        SpanEvent e;
+        e.name = name;
+        e.ts_s = ts_s;
+        e.phase = phase;
+        if (trace_wallclock_enabled()) e.wall_us = wall_now_us();
+        if (ring.events.size() < kTraceRingCapacity) {
+            ring.events.push_back(e);
+        } else {
+            ring.events[ring.next] = e;
+            ring.next = (ring.next + 1) % kTraceRingCapacity;
+            ++ring.overwritten;
+        }
+    } catch (...) {
+        // Allocation failure: drop the event rather than surface a failure
+        // into instrumented code.
+    }
+}
+
+std::string Tracer::render_chrome_trace() const {
+    struct Slot {
+        const SpanEvent* event;
+        std::uint32_t tid;
+        std::size_t seq;
+    };
+    std::vector<Slot> slots;
+    const ga::util::LockGuard lock(trace_mutex_);
+    for (const auto& ring : rings_) {
+        // Chronological unwrap: once full the oldest event sits at `next`.
+        const std::size_t n = ring->events.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t at =
+                n < kTraceRingCapacity ? i : (ring->next + i) % n;
+            slots.push_back(Slot{&ring->events[at], ring->tid, i});
+        }
+    }
+    std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+        return std::make_tuple(a.event->ts_s, a.tid, a.seq) <
+               std::make_tuple(b.event->ts_s, b.tid, b.seq);
+    });
+
+    std::string out = "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const SpanEvent& e = *slots[i].event;
+        out += i == 0 ? "\n" : ",\n";
+        out += "{\"name\":\"" + escape_json(e.name) + "\",\"ph\":\"";
+        out += static_cast<char>(e.phase);
+        out += "\",\"ts\":" + format_double(e.ts_s * 1e6) +
+               ",\"pid\":0,\"tid\":" + std::to_string(slots[i].tid);
+        if (e.phase == SpanPhase::Instant) out += ",\"s\":\"t\"";
+        if (e.wall_us != 0.0) {
+            out += ",\"args\":{\"wall_us\":" + format_double(e.wall_us) + "}";
+        }
+        out += "}";
+    }
+    out += slots.empty() ? "]" : "\n]";
+    out += ",\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+std::uint64_t Tracer::recorded_events() const {
+    const ga::util::LockGuard lock(trace_mutex_);
+    std::uint64_t total = 0;
+    for (const auto& ring : rings_) total += ring->events.size();
+    return total;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+    const ga::util::LockGuard lock(trace_mutex_);
+    std::uint64_t total = 0;
+    for (const auto& ring : rings_) total += ring->overwritten;
+    return total;
+}
+
+void Tracer::discard_events() {
+    const ga::util::LockGuard lock(trace_mutex_);
+    for (const auto& ring : rings_) {
+        ring->events.clear();
+        ring->next = 0;
+        ring->overwritten = 0;
+    }
+}
+
+}  // namespace ga::obs

@@ -1,0 +1,111 @@
+// Tracing half of the observability module: per-thread ring buffers of
+// span events with a Chrome `trace_event` JSON exporter (load the file in
+// Perfetto or chrome://tracing).
+//
+// Events carry a caller-provided *logical* timestamp — simulator sim-time,
+// a sweep point index, a session clock — so a trace recorded from a
+// deterministic run is itself deterministic, byte-for-byte (pinned by a
+// golden test). Wall-clock timestamps are strictly opt-in
+// (`set_trace_wallclock`) and ride along in the event's `args`, leaving the
+// primary timeline logical; the wall read itself lives behind
+// obs/walltime.hpp per the `obs-wallclock-outside-obs` lint rule.
+//
+// Concurrency model: each thread records into its own fixed-capacity ring
+// (no locks, no atomics on the hot path beyond the enabled flag), so
+// recording can never perturb cross-thread timing. The tracer mutex is a
+// hierarchy leaf taken only to attach a new thread's ring and to export;
+// exporting while writer threads are still recording is a race — quiesce
+// (join or wait_idle) first, as every in-tree caller does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace ga::obs {
+
+/// Process-wide tracing switch (relaxed atomic; default off).
+[[nodiscard]] bool tracing_enabled() noexcept;
+void set_tracing_enabled(bool on) noexcept;
+
+/// When on, every recorded event also captures a monotonic wall timestamp
+/// (microseconds, arbitrary epoch) exported under `args.wall_us`. Off by
+/// default: a logical-only trace is deterministic.
+[[nodiscard]] bool trace_wallclock_enabled() noexcept;
+void set_trace_wallclock(bool on) noexcept;
+
+/// Events kept per thread before the ring wraps (oldest overwritten).
+inline constexpr std::size_t kTraceRingCapacity = 1 << 16;
+
+enum class SpanPhase : char { Begin = 'B', End = 'E', Instant = 'i' };
+
+struct SpanEvent {
+    const char* name = nullptr;  ///< static-storage string; not copied
+    double ts_s = 0.0;           ///< logical timestamp, seconds
+    double wall_us = 0.0;        ///< 0 unless wall timestamps are enabled
+    SpanPhase phase = SpanPhase::Instant;
+};
+
+/// The span-event sink. `global()` is the process tracer; separate
+/// instances are constructible for isolated golden tests.
+class Tracer {
+public:
+    Tracer();
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    static Tracer& global();
+
+    /// Record a span boundary / point event at logical time `ts_s`.
+    /// `name` must point at static storage (string literals). No-ops
+    /// unless `tracing_enabled()`.
+    void span_begin(const char* name, double ts_s) {
+        record(name, ts_s, SpanPhase::Begin);
+    }
+    void span_end(const char* name, double ts_s) {
+        record(name, ts_s, SpanPhase::End);
+    }
+    void span_instant(const char* name, double ts_s) {
+        record(name, ts_s, SpanPhase::Instant);
+    }
+
+    /// Chrome trace_event JSON document. Events are globally ordered by
+    /// (logical ts, thread attach order, record order), so the bytes are
+    /// deterministic whenever thread attach order is (always true
+    /// single-threaded). Call only after writers have quiesced.
+    [[nodiscard]] std::string render_chrome_trace() const;
+
+    /// Events currently held across all rings / lost to ring wrap.
+    [[nodiscard]] std::uint64_t recorded_events() const;
+    [[nodiscard]] std::uint64_t dropped_events() const;
+
+    /// Empties every ring (threads stay attached).
+    void discard_events();
+
+private:
+    /// One thread's buffer: grows to kTraceRingCapacity, then wraps,
+    /// overwriting the oldest event (`next` is the wrap cursor).
+    struct Ring {
+        std::uint32_t tid = 0;
+        std::vector<SpanEvent> events;
+        std::size_t next = 0;
+        std::uint64_t overwritten = 0;
+    };
+
+    void record(const char* name, double ts_s, SpanPhase phase) noexcept;
+    Ring& ring_for_thread();
+
+    /// Leaf of the declared lock hierarchy: ring attach + export only.
+    mutable ga::util::Mutex trace_mutex_ GA_ACQUIRED_AFTER(
+        ga::acct::Ledger::mutex_, ga::util::ThreadPool::mutex_);
+    std::vector<std::unique_ptr<Ring>> rings_ GA_GUARDED_BY(trace_mutex_);
+    /// Process-unique, immutable after construction: the key threads use
+    /// to cache their ring so the record path stays lock-free.
+    const std::uint64_t id_;
+};
+
+}  // namespace ga::obs

@@ -9,6 +9,7 @@
 
 #include "carbon/grids.hpp"
 #include "machine/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "workload/trace.hpp"
 
@@ -17,6 +18,23 @@ namespace ga::service {
 namespace {
 
 using ga::io::JsonValue;
+
+/// Service-layer instruments: process-wide request/error counters shared by
+/// every session in the process (the per-session tallies that back the
+/// `metrics` verb live on ServeSession itself).
+struct ServeMetrics {
+    ga::obs::Counter& requests;
+    ga::obs::Counter& errors;
+};
+
+ServeMetrics& serve_metrics() {
+    auto& registry = ga::obs::Registry::global();
+    static ServeMetrics metrics{
+        registry.counter_handle("serve.requests"),
+        registry.counter_handle("serve.errors"),
+    };
+    return metrics;
+}
 
 /// Hex rendering of the 64-bit snapshot checksum for the checkpoint
 /// response (fixed 16 digits, lower-case).
@@ -801,6 +819,21 @@ JsonValue ServeSession::handle_stats(const Request& r) {
     return result;
 }
 
+JsonValue ServeSession::handle_metrics(const Request& r) {
+    check_keys(r.body, {}, "metrics");
+    JsonValue result = object();
+    // Per-session tallies of lines handled, including this request (it is
+    // counted when its line enters handle_line).
+    result.set("requests", JsonValue(static_cast<double>(requests_served_)));
+    result.set("errors", JsonValue(static_cast<double>(request_errors_)));
+    result.set("metrics_enabled", JsonValue(ga::obs::metrics_enabled()));
+    // Process-wide registry snapshot; all-zero (but present) when metrics
+    // collection is disabled.
+    result.set("prometheus",
+               JsonValue(ga::obs::Registry::global().render_prometheus()));
+    return result;
+}
+
 JsonValue ServeSession::handle_advance(const Request& r) {
     check_keys(r.body, {"to_s"}, "advance");
     const double to = number_field(r.body, "to_s", "advance");
@@ -846,6 +879,7 @@ JsonValue ServeSession::dispatch(const Request& request) {
     if (request.type == "refund") return handle_refund(request);
     if (request.type == "balance") return handle_balance(request);
     if (request.type == "stats") return handle_stats(request);
+    if (request.type == "metrics") return handle_metrics(request);
     if (request.type == "advance") return handle_advance(request);
     if (request.type == "checkpoint") return handle_checkpoint(request);
     if (request.type == "shutdown") return handle_shutdown(request);
@@ -854,6 +888,9 @@ JsonValue ServeSession::dispatch(const Request& request) {
 }
 
 std::string ServeSession::handle_line(std::string_view line) {
+    ServeMetrics& metrics = serve_metrics();
+    ++requests_served_;
+    metrics.requests.inc();
     std::optional<std::uint64_t> id;
     try {
         Request request = parse_request(line);
@@ -861,13 +898,21 @@ std::string ServeSession::handle_line(std::string_view line) {
         JsonValue result = dispatch(request);
         return render(ok_response(request.id, std::move(result)));
     } catch (const ProtocolError& e) {
+        ++request_errors_;
+        metrics.errors.inc();
         if (!id.has_value()) id = recover_request_id(line);
         return render(error_response(id, e.code(), e.what()));
     } catch (const ga::util::PreconditionError& e) {
+        ++request_errors_;
+        metrics.errors.inc();
         return render(error_response(id, "precondition", e.what()));
     } catch (const ga::util::RuntimeError& e) {
+        ++request_errors_;
+        metrics.errors.inc();
         return render(error_response(id, "state_error", e.what()));
     } catch (const std::exception& e) {
+        ++request_errors_;
+        metrics.errors.inc();
         return render(error_response(id, "internal", e.what()));
     }
 }

@@ -24,8 +24,8 @@
 // no locks to the declared hierarchy; the Ledger still locks internally.
 //
 // Request types: create_account, submit_jobs, quote, charge, refund,
-// balance, stats, advance, checkpoint, shutdown — schemas in the handler
-// comments (session.cpp) and docs/ARCHITECTURE.md "Service layer".
+// balance, stats, metrics, advance, checkpoint, shutdown — schemas in the
+// handler comments (session.cpp) and docs/ARCHITECTURE.md "Service layer".
 #pragma once
 
 #include <cstddef>
@@ -117,6 +117,7 @@ private:
     [[nodiscard]] ga::io::JsonValue handle_refund(const Request& r);
     [[nodiscard]] ga::io::JsonValue handle_balance(const Request& r);
     [[nodiscard]] ga::io::JsonValue handle_stats(const Request& r);
+    [[nodiscard]] ga::io::JsonValue handle_metrics(const Request& r);
     [[nodiscard]] ga::io::JsonValue handle_advance(const Request& r);
     [[nodiscard]] ga::io::JsonValue handle_checkpoint(const Request& r);
     [[nodiscard]] ga::io::JsonValue handle_shutdown(const Request& r);
@@ -161,6 +162,15 @@ private:
     std::vector<ClusterSessionState> clusters_;
     ga::acct::Ledger ledger_;
     bool shutdown_ = false;
+
+    // ---- observability (not part of the snapshot surface) ----------------
+    // Logical request tallies for the `metrics` verb. Deliberately outside
+    // export_state(): a restored session starts counting afresh, and the
+    // golden-transcript contract (same scenario + lines -> same bytes)
+    // still holds because the tallies are a pure function of the lines
+    // handled since construction.
+    std::uint64_t requests_served_ = 0;
+    std::uint64_t request_errors_ = 0;
 };
 
 }  // namespace ga::service

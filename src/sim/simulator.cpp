@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "carbon/grids.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -367,6 +369,46 @@ RunState<Queues>& pooled_run_state() {
     return state;
 }
 
+/// Event-loop tallies, accumulated as plain locals on the hot path and
+/// flushed to the obs registry once per run. Shared by both queue policies
+/// (the instrumentation lives in run_impl's policy-independent code), and
+/// write-only: nothing in the run ever reads these back, so results stay
+/// byte-identical with metrics on or off.
+struct SimRunTally {
+    std::uint64_t finish_events = 0;
+    std::uint64_t submit_events = 0;
+    std::uint64_t outage_events = 0;
+    std::uint64_t jobs_started = 0;
+    std::uint64_t queue_scans = 0;
+    std::uint64_t queue_drains = 0;
+};
+
+struct SimMetrics {
+    ga::obs::Counter& finish_events;
+    ga::obs::Counter& submit_events;
+    ga::obs::Counter& outage_events;
+    ga::obs::Counter& jobs_started;
+    ga::obs::Counter& queue_scans;
+    ga::obs::Counter& queue_drains;
+    ga::obs::Counter& runs;
+};
+
+/// Handles resolved once per process, outside any lock (the registry
+/// mutex is a hierarchy leaf; see obs/metrics.hpp).
+SimMetrics& sim_metrics() {
+    auto& registry = ga::obs::Registry::global();
+    static SimMetrics metrics{
+        registry.counter_handle("sim.events.finish"),
+        registry.counter_handle("sim.events.submit"),
+        registry.counter_handle("sim.events.outage"),
+        registry.counter_handle("sim.jobs.started"),
+        registry.counter_handle("sim.queue.scans"),
+        registry.counter_handle("sim.queue.drains"),
+        registry.counter_handle("sim.runs"),
+    };
+    return metrics;
+}
+
 }  // namespace
 
 template <typename Queues>
@@ -497,6 +539,13 @@ SimResult BatchSimulator::run_impl(const SimOptions& options) const {
         std::push_heap(rs.events.begin(), rs.events.end(), std::greater<>{});
     };
 
+    // ---- observability (write-only; never feeds back into the run) ----
+    // The tracing flag is sampled once so every event pays one branch; the
+    // tally flush at the end of the run is the only registry touch.
+    SimRunTally tally;
+    auto& tracer = ga::obs::Tracer::global();
+    const bool tracing = ga::obs::tracing_enabled();
+
     // Scheduling context shared by every routing decision: the per-cluster
     // views are refreshed before each submit; the span stays valid because
     // `views` never reallocates.
@@ -539,6 +588,7 @@ SimResult BatchSimulator::run_impl(const SimOptions& options) const {
 
     // Starts a job on cluster c at time `now` (resources already checked).
     auto start_job = [&](std::uint32_t j, std::size_t c, double now) {
+        ++tally.jobs_started;
         const double runtime = pred_runtime_[j * n_clusters + c];
         ClusterState& cs = rs.cluster[c];
         cs.free_cores -= jobs[j].cores;
@@ -554,9 +604,12 @@ SimResult BatchSimulator::run_impl(const SimOptions& options) const {
     // jobs blocked by the one-job-per-user rule or core shortage, bounded
     // by kBackfillDepth like a real scheduler's backfill depth).
     auto drain_queue = [&](std::size_t c, double now) {
+        ++tally.queue_drains;
+        if (tracing) tracer.span_begin("sim.drain", now);
         ClusterState& cs = rs.cluster[c];
         rs.queues.drain(
             c, cs, [&](std::uint32_t j, int cores, std::uint32_t user) {
+                ++tally.queue_scans;
                 if (cores <= cs.free_cores &&
                     rs.user_running[c * n_users_ + user] == 0) {
                     cs.queued_core_seconds -=
@@ -567,6 +620,7 @@ SimResult BatchSimulator::run_impl(const SimOptions& options) const {
                 }
                 return false;
             });
+        if (tracing) tracer.span_end("sim.drain", now);
     };
 
     while (!rs.events.empty()) {
@@ -576,6 +630,7 @@ SimResult BatchSimulator::run_impl(const SimOptions& options) const {
         const double now = ev.time;
 
         if (ev.type == EventType::Finish) {
+            ++tally.finish_events;
             const std::size_t c = ev.cluster;
             const std::uint32_t j = ev.job;
             ClusterState& cs = rs.cluster[c];
@@ -607,6 +662,8 @@ SimResult BatchSimulator::run_impl(const SimOptions& options) const {
         }
 
         if (ev.type == EventType::Outage) {
+            ++tally.outage_events;
+            if (tracing) tracer.span_begin("sim.outage.compact", now);
             const std::size_t c = ev.cluster;
             ClusterState& cs = rs.cluster[c];
             const int per_node = clusters_[c].entry.node.total_cores();
@@ -635,10 +692,15 @@ SimResult BatchSimulator::run_impl(const SimOptions& options) const {
                 ++result.jobs_skipped;
                 return true;
             });
+            if (tracing) tracer.span_end("sim.outage.compact", now);
             continue;
         }
 
         // ---- submit: route through the policy ----
+        // An instant rather than a span: the branch has several early
+        // exits and logical time does not advance inside it anyway.
+        ++tally.submit_events;
+        if (tracing) tracer.span_instant("sim.submit", now);
         const std::uint32_t j = ev.job;
         for (std::size_t c = 0; c < n_clusters; ++c) {
             const ClusterState& state = rs.cluster[c];
@@ -746,6 +808,17 @@ SimResult BatchSimulator::run_impl(const SimOptions& options) const {
             rs.currency_spent[k];
     }
     std::sort(result.finish_times_s.begin(), result.finish_times_s.end());
+
+    if (ga::obs::metrics_enabled()) {
+        SimMetrics& metrics = sim_metrics();
+        metrics.runs.inc();
+        metrics.finish_events.inc(tally.finish_events);
+        metrics.submit_events.inc(tally.submit_events);
+        metrics.outage_events.inc(tally.outage_events);
+        metrics.jobs_started.inc(tally.jobs_started);
+        metrics.queue_scans.inc(tally.queue_scans);
+        metrics.queue_drains.inc(tally.queue_drains);
+    }
     return std::move(rs.result);
 }
 

@@ -3,12 +3,36 @@
 #include <cstdio>
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/walltime.hpp"
 #include "util/error.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace ga::sim {
 
 namespace {
+
+/// Sweep-engine instruments: pool occupancy, per-point wall timing, and a
+/// completion counter. Handles are resolved once per process, outside any
+/// lock, so the worker lambdas never touch the registry mutex.
+struct SweepMetrics {
+    ga::obs::Gauge& active_points;      ///< pool occupancy right now
+    ga::obs::Counter& points_completed;
+    ga::obs::Histogram& point_seconds;  ///< wall time per grid point
+};
+
+SweepMetrics& sweep_metrics() {
+    auto& registry = ga::obs::Registry::global();
+    static SweepMetrics metrics{
+        registry.gauge_handle("sweep.active_points"),
+        registry.counter_handle("sweep.points_completed"),
+        registry.histogram_handle(
+            "sweep.point_seconds",
+            {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0}),
+    };
+    return metrics;
+}
 
 std::string format_number(double v) {
     char buf[32];
@@ -211,11 +235,32 @@ std::vector<SweepOutcome> SweepRunner::run(
     ga::util::Mutex error_mutex GA_ACQUIRED_AFTER(
         ga::acct::Ledger::mutex_, ga::acct::AccountantRegistry::mutex_);
     std::exception_ptr error;
+    SweepMetrics& metrics = sweep_metrics();
+    auto& tracer = ga::obs::Tracer::global();
     for (std::size_t i = 0; i < specs.size(); ++i) {
-        pool_.submit([this, &outcomes, &specs, &error_mutex, &error, i] {
+        pool_.submit([this, &outcomes, &specs, &error_mutex, &error, &metrics,
+                      &tracer, i] {
             try {
+                // Spans carry the point index as their logical timestamp
+                // (sweeps have no shared sim-clock); wall durations, when
+                // metrics are on, go to the histogram instead.
+                if (ga::obs::tracing_enabled()) {
+                    tracer.span_begin("sweep.point", static_cast<double>(i));
+                }
+                metrics.active_points.add_value(1.0);
                 outcomes[i].spec = specs[i];
-                outcomes[i].result = simulator_->run(specs[i].options);
+                if (ga::obs::metrics_enabled()) {
+                    const ga::obs::WallTimer timer;
+                    outcomes[i].result = simulator_->run(specs[i].options);
+                    metrics.point_seconds.observe(timer.seconds());
+                } else {
+                    outcomes[i].result = simulator_->run(specs[i].options);
+                }
+                metrics.active_points.add_value(-1.0);
+                metrics.points_completed.inc();
+                if (ga::obs::tracing_enabled()) {
+                    tracer.span_end("sweep.point", static_cast<double>(i));
+                }
             } catch (...) {
                 const ga::util::LockGuard lock(error_mutex);
                 if (!error) error = std::current_exception();

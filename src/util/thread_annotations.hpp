@@ -85,6 +85,7 @@
 //     -> accounting (Ledger)
 //       -> infrastructure (Broker, ThreadPool)
 //         -> error-collection locals (SweepRunner::run, parallel_for)
+//         -> observability leaves (obs::Registry, obs::Tracer)
 //
 // By default the macros expand to nothing even under clang: clang's
 // `acquired_before`/`acquired_after` checking is still beta

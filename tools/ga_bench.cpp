@@ -22,16 +22,20 @@
 // `ServeSession::handle_line`, recorded as a `serve` section
 // (requests/sec) under the same schema and baseline gate.
 //
-// Timings are wall-clock (best of `--repeats`); everything else in the
-// entry (job counts, configs) is deterministic.
+// `--obs-overhead` measures the simulate-throughput cost of the obs metrics
+// (collection off vs on over the same trace), recorded as an `obs_overhead`
+// section — the committed entry pins the <= 5% overhead budget.
+//
+// Timings are wall-clock via `ga::obs::WallTimer` (best of `--repeats`);
+// everything else in the entry (job counts, configs) is deterministic.
 #include <algorithm>
 #include <charconv>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -39,6 +43,8 @@
 
 #include "io/json.hpp"
 #include "io/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/walltime.hpp"
 #include "service/session.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
@@ -72,6 +78,9 @@ options:
   --serve SCENARIO   measure the service layer instead: replay a generated
                      request stream through ServeSession (requests/sec)
   --serve-requests N request lines in the replayed stream (default 20000)
+  --obs-overhead     measure the simulate path with obs metrics collection
+                     off vs on and record the throughput cost instead
+
   --output FILE      trajectory file to merge into (default BENCH_sim.json)
   --baseline FILE    compare against FILE's same-named entry after measuring
   --max-regress X    max tolerated jobs/sec drop vs baseline (default 0.30)
@@ -91,6 +100,7 @@ struct CliOptions {
     std::size_t sweep_points = 8;
     std::size_t repeats = 3;
     bool reference = false;
+    bool obs_overhead = false;
     std::optional<std::string> serve_scenario;
     std::size_t serve_requests = 20'000;
     std::string output_path = "BENCH_sim.json";
@@ -179,6 +189,8 @@ CliOptions parse_cli(int argc, char** argv) {
             if (options.repeats == 0) fail_usage("--repeats must be >= 1");
         } else if (arg == "--reference") {
             options.reference = true;
+        } else if (arg == "--obs-overhead") {
+            options.obs_overhead = true;
         } else if (arg == "--serve") {
             options.serve_scenario = next_arg(argc, argv, i, arg);
         } else if (arg == "--serve-requests") {
@@ -248,15 +260,31 @@ void validate_bench_document(const ga::io::JsonValue& root) {
         if (config == nullptr || !config->is_object()) {
             fail_schema(base + ".config", "expected object");
         }
-        // Two entry shapes share the schema: service-layer entries carry a
-        // `serve` section, simulator entries the generator/simulate/sweep
-        // trio.
+        // Three entry shapes share the schema: service-layer entries carry
+        // a `serve` section, metrics-cost entries an `obs_overhead`
+        // section, simulator entries the generator/simulate/sweep trio.
         if (const auto* serve = entry.find("serve"); serve != nullptr) {
             const std::string spath = base + ".serve";
             if (!serve->is_object()) fail_schema(spath, "expected object");
             require_positive(*serve, spath, "requests");
             require_positive(*serve, spath, "seconds");
             require_positive(*serve, spath, "requests_per_sec");
+            continue;
+        }
+        if (const auto* obs = entry.find("obs_overhead"); obs != nullptr) {
+            const std::string spath = base + ".obs_overhead";
+            if (!obs->is_object()) fail_schema(spath, "expected object");
+            require_positive(*obs, spath, "jobs");
+            require_positive(*obs, spath, "seconds_off");
+            require_positive(*obs, spath, "seconds_on");
+            require_positive(*obs, spath, "jobs_per_sec_off");
+            require_positive(*obs, spath, "jobs_per_sec_on");
+            // overhead_frac may legitimately be <= 0 (noise can make the
+            // metered run faster), so only its presence and type are checked.
+            const auto* frac = obs->find("overhead_frac");
+            if (frac == nullptr || !frac->is_number()) {
+                fail_schema(spath + ".overhead_frac", "expected number");
+            }
             continue;
         }
         for (const std::string_view section : {"generator", "simulate"}) {
@@ -289,21 +317,16 @@ void validate_bench_document(const ga::io::JsonValue& root) {
 
 // ---- measurement -----------------------------------------------------------
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
-}
-
 /// Best-of-N wall time of `body` (the standard noise floor for a bench on a
-/// shared machine).
+/// shared machine). The stopwatch is the obs timer — the only sanctioned
+/// wall-clock read outside src/obs/.
 template <typename Body>
 double best_of(std::size_t repeats, Body&& body) {
     double best = std::numeric_limits<double>::infinity();
     for (std::size_t r = 0; r < repeats; ++r) {
-        const auto start = std::chrono::steady_clock::now();
+        const ga::obs::WallTimer timer;
         body();
-        best = std::min(best, seconds_since(start));
+        best = std::min(best, timer.seconds());
     }
     return best;
 }
@@ -406,6 +429,81 @@ ga::io::JsonValue measure_entry(const CliOptions& cli) {
         sweep.as_array().push_back(std::move(point));
     }
     entry.set("sweep", std::move(sweep));
+    return entry;
+}
+
+/// Metrics-cost benchmark: full `BatchSimulator::run`s timed with obs
+/// metrics collection disabled and enabled (every compiled-in counter
+/// incrementing and histogram observing). The off/on passes are
+/// interleaved per repeat — measuring all-off then all-on reads machine
+/// warm-up (frequency ramp, neighbor load decay) as a spurious speedup of
+/// whichever pass runs second. The recorded `overhead_frac` is the
+/// relative throughput loss; the committed BENCH_sim.json entry pins it
+/// under the 5% budget.
+ga::io::JsonValue measure_obs_overhead_entry(const CliOptions& cli) {
+    ga::workload::TraceOptions trace;
+    trace.base_jobs = cli.base_jobs;
+    trace.repetitions = cli.repetitions;
+    trace.users = cli.users;
+    trace.span_days = cli.span_days;
+    trace.seed = cli.seed;
+    trace.arrival = *ga::workload::arrival_from_string(cli.arrival);
+    const auto total_jobs = static_cast<double>(trace.total_jobs());
+
+    std::fprintf(stderr, "building workload + simulator (%zu jobs)...\n",
+                 trace.total_jobs());
+    const ga::sim::BatchSimulator simulator(
+        ga::workload::build_workload(trace));
+    const ga::sim::SimOptions sim_options;
+
+    const auto timed_run = [&] {
+        const ga::obs::WallTimer timer;
+        volatile std::size_t sink = simulator.run(sim_options).jobs_completed;
+        (void)sink;
+        return timer.seconds();
+    };
+    // One untimed warm-up run so the first timed pass is not also paying
+    // cold caches and lazy allocation.
+    ga::obs::set_metrics_enabled(false);
+    timed_run();
+
+    double seconds_off = std::numeric_limits<double>::infinity();
+    double seconds_on = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < cli.repeats; ++r) {
+        std::fprintf(stderr, "simulate: repeat %zu/%zu (off, then on)...\n",
+                     r + 1, cli.repeats);
+        ga::obs::set_metrics_enabled(false);
+        seconds_off = std::min(seconds_off, timed_run());
+        ga::obs::set_metrics_enabled(true);
+        ga::obs::Registry::global().zero_all();
+        seconds_on = std::min(seconds_on, timed_run());
+    }
+    ga::obs::set_metrics_enabled(false);
+
+    const double jps_off = total_jobs / seconds_off;
+    const double jps_on = total_jobs / seconds_on;
+    const double overhead = (jps_off - jps_on) / jps_off;
+    std::fprintf(stderr, "obs overhead: %.2f%% (%.0f -> %.0f jobs/sec)\n",
+                 overhead * 100.0, jps_off, jps_on);
+
+    ga::io::JsonValue entry{ga::io::JsonValue::Object{}};
+    ga::io::JsonValue config{ga::io::JsonValue::Object{}};
+    config.set("base_jobs", static_cast<double>(trace.base_jobs));
+    config.set("repetitions", trace.repetitions);
+    config.set("users", static_cast<double>(trace.users));
+    config.set("span_days", trace.span_days);
+    config.set("seed", static_cast<double>(trace.seed));
+    config.set("arrival", cli.arrival);
+    config.set("repeats", static_cast<double>(cli.repeats));
+    entry.set("config", std::move(config));
+    ga::io::JsonValue section{ga::io::JsonValue::Object{}};
+    section.set("jobs", total_jobs);
+    section.set("seconds_off", seconds_off);
+    section.set("seconds_on", seconds_on);
+    section.set("jobs_per_sec_off", jps_off);
+    section.set("jobs_per_sec_on", jps_on);
+    section.set("overhead_frac", overhead);
+    entry.set("obs_overhead", std::move(section));
     return entry;
 }
 
@@ -524,12 +622,24 @@ int run(const CliOptions& cli) {
         return 0;
     }
 
+    if (cli.obs_overhead && cli.serve_scenario.has_value()) {
+        fail_usage("--obs-overhead and --serve are mutually exclusive");
+    }
     ga::io::JsonValue entry = cli.serve_scenario.has_value()
                                   ? measure_serve_entry(cli)
-                                  : measure_entry(cli);
+                              : cli.obs_overhead ? measure_obs_overhead_entry(cli)
+                                                 : measure_entry(cli);
     const bool is_serve = entry.find("serve") != nullptr;
-    const char* section = is_serve ? "serve" : "simulate";
-    const char* metric = is_serve ? "requests_per_sec" : "jobs_per_sec";
+    const bool is_obs = entry.find("obs_overhead") != nullptr;
+    // The baseline gate compares the section's headline throughput; for the
+    // obs entry that is the metered figure (a slowdown of the instrumented
+    // path fails the gate even if the uninstrumented path held steady).
+    const char* section = is_serve ? "serve"
+                          : is_obs ? "obs_overhead"
+                                   : "simulate";
+    const char* metric = is_serve ? "requests_per_sec"
+                         : is_obs ? "jobs_per_sec_on"
+                                  : "jobs_per_sec";
     const double measured = entry.at(section).at(metric).as_number();
     std::fprintf(stderr, "entry '%s': %s %.0f %s\n", cli.entry.c_str(),
                  section, measured, metric);

@@ -7,10 +7,15 @@
 //                 library engines (mt19937, ...) in src/. All randomness
 //                 flows through the seeded, bit-reproducible ga::util::Rng
 //                 (util/rng.hpp) so every experiment replays exactly.
-//   wall-clock    No wall-clock or machine-clock reads in src/ —
-//                 time(nullptr), std::chrono::{system,steady,high_resolution}
-//                 _clock, gettimeofday, ... Simulation time is virtual and
-//                 seeded; a clock read is a hidden nondeterministic input.
+//   obs-wallclock-outside-obs
+//                 No wall-clock or machine-clock reads outside the obs
+//                 module — time(nullptr),
+//                 std::chrono::{system,steady,high_resolution}_clock,
+//                 gettimeofday, ... Simulation time is virtual and seeded; a
+//                 clock read is a hidden nondeterministic input. Diagnostic
+//                 timing (benchmarks, latency histograms, trace wall
+//                 timestamps) goes through ga::obs::WallTimer
+//                 (obs/walltime.hpp), the rule's one exempt home.
 //   unordered-io  No unordered containers in src/io/. Serialized output
 //                 (results, scenarios, golden files) must be byte-identical
 //                 across platforms and standard libraries; hash-order
@@ -74,11 +79,12 @@ const std::vector<Rule>& rules() {
          "",
          {"util/rng.hpp", "util/rng.cpp"},
          "unseeded/non-reproducible RNG; use the seeded ga::util::Rng"},
-        {"wall-clock",
+        {"obs-wallclock-outside-obs",
          std::regex(R"((^|std\s*::\s*|[^:\w])time\s*\(\s*(nullptr|NULL|0)\s*\)|system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime|\blocaltime\b|\bgmtime\b)"),
          "",
-         {},
-         "wall-clock read; simulation inputs must be virtual-time/seeded"},
+         {"obs/walltime.hpp"},
+         "wall-clock read outside the obs module; route diagnostic timing "
+         "through ga::obs::WallTimer (obs/walltime.hpp)"},
         {"unordered-io",
          std::regex(R"(unordered_(map|set|multimap|multiset))"),
          "/io/",

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "io/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/walltime.hpp"
 #include "service/session.hpp"
 #include "service/snapshot.hpp"
 #include "util/error.hpp"
@@ -46,7 +48,8 @@ constexpr std::string_view kUsage =
 Serves the scenario's first expanded grid point as a persistent allocation
 service: one JSON request per stdin line, one JSON response per stdout line
 (request types: create_account, submit_jobs, quote, charge, refund, balance,
-stats, advance, checkpoint, shutdown). Exits on `shutdown` or stdin EOF.
+stats, metrics, advance, checkpoint, shutdown). Exits on `shutdown` or stdin
+EOF.
 
 options:
   --restore FILE   restore session state from a ga-serve snapshot before
@@ -56,6 +59,10 @@ options:
   --scale X        scale the workload's configured base_jobs by X (affects
                    only the generate-path user pool sizing consistency with
                    ga-sim; the service itself generates jobs on demand)
+  --metrics        collect obs metrics (per-request latency histogram,
+                   ledger/service counters); the `metrics` request reports
+                   them live, and the final registry snapshot goes to stderr
+                   at exit. Never alters the stdout transcript.
   --help           show this message
 )USAGE";
 
@@ -64,6 +71,7 @@ struct CliOptions {
     std::optional<std::string> restore_path;
     std::optional<std::string> socket_path;
     std::optional<double> scale;
+    bool metrics = false;
 };
 
 [[noreturn]] void fail_usage(const std::string& message) {
@@ -100,6 +108,8 @@ CliOptions parse_cli(int argc, char** argv) {
             if (!(*options.scale > 0.0)) {
                 fail_usage("--scale must be positive");
             }
+        } else if (arg == "--metrics") {
+            options.metrics = true;
         } else if (!arg.empty() && arg.front() == '-') {
             fail_usage("unknown option '" + std::string(arg) + "'");
         } else if (options.scenario_path.empty()) {
@@ -114,12 +124,30 @@ CliOptions parse_cli(int argc, char** argv) {
     return options;
 }
 
+/// Handles one request line, timing it into the per-request latency
+/// histogram when --metrics enabled collection; without --metrics this is
+/// exactly session.handle_line (no clock reads, no histogram touch). The
+/// response bytes are identical either way — metrics only observe.
+std::string handle_timed(ga::service::ServeSession& session,
+                         std::string_view line) {
+    if (!ga::obs::metrics_enabled()) return session.handle_line(line);
+    static ga::obs::Histogram& latency =
+        ga::obs::Registry::global().histogram_handle(
+            "serve.request_latency_us",
+            {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+             2000.0, 5000.0, 10000.0, 50000.0});
+    const ga::obs::WallTimer timer;
+    std::string response = session.handle_line(line);
+    latency.observe(timer.seconds() * 1e6);
+    return response;
+}
+
 /// Responds to every complete frame buffered in `framer`; returns false
 /// once a shutdown was acknowledged.
 bool drain_frames(ga::service::ServeSession& session,
                   ga::util::LineFramer& framer, std::FILE* out) {
     while (auto frame = framer.next()) {
-        const std::string response = session.handle_line(*frame);
+        const std::string response = handle_timed(session, *frame);
         std::fwrite(response.data(), 1, response.size(), out);
         std::fputc('\n', out);
         std::fflush(out);
@@ -138,7 +166,7 @@ int serve_stdio(ga::service::ServeSession& session) {
         if (!drain_frames(session, framer, stdout)) return 0;
     }
     if (auto last = framer.finish()) {
-        const std::string response = session.handle_line(*last);
+        const std::string response = handle_timed(session, *last);
         std::fwrite(response.data(), 1, response.size(), stdout);
         std::fputc('\n', stdout);
         std::fflush(stdout);
@@ -252,7 +280,7 @@ int serve_multiplexed(ga::service::ServeSession& session,
                 client.framer.feed(
                     std::string_view(buffer, static_cast<std::size_t>(n)));
                 while (auto frame = client.framer.next()) {
-                    const std::string response = session.handle_line(*frame);
+                    const std::string response = handle_timed(session, *frame);
                     if (!send_line(client.fd, response)) {
                         drop = true;
                         break;
@@ -281,6 +309,7 @@ int serve_multiplexed(ga::service::ServeSession& session,
 #endif  // GA_SERVE_HAVE_SOCKETS
 
 int run(const CliOptions& options) {
+    if (options.metrics) ga::obs::set_metrics_enabled(true);
     ga::io::ScenarioFile scenario =
         ga::io::load_scenario_file(options.scenario_path);
     if (options.scale.has_value()) scenario.scale_workload(*options.scale);
@@ -301,9 +330,12 @@ int run(const CliOptions& options) {
     }
     std::fprintf(stderr, "ga-serve: ready\n");
 
+    int rc = 0;
 #if GA_SERVE_HAVE_SOCKETS
     if (options.socket_path.has_value()) {
-        return serve_multiplexed(session, *options.socket_path);
+        rc = serve_multiplexed(session, *options.socket_path);
+    } else {
+        rc = serve_stdio(session);
     }
 #else
     if (options.socket_path.has_value()) {
@@ -311,8 +343,17 @@ int run(const CliOptions& options) {
                      "ga-serve: --socket is not supported on this platform\n");
         return 1;
     }
+    rc = serve_stdio(session);
 #endif
-    return serve_stdio(session);
+    if (options.metrics) {
+        // Final registry snapshot to stderr: stdout stays a pure protocol
+        // transcript, byte-identical with and without --metrics.
+        const std::string text =
+            ga::obs::Registry::global().render_prometheus();
+        std::fputs("ga-serve: final metrics\n", stderr);
+        std::fputs(text.c_str(), stderr);
+    }
+    return rc;
 }
 
 }  // namespace

@@ -22,6 +22,8 @@
 
 #include "io/results.hpp"
 #include "io/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -48,6 +50,16 @@ options:
   --accountant SPEC  replace the grid's pricing axes likewise,
                      e.g. --accountant "CarbonTax(rate=0.02)"
   --scale X          scale the workload's base_jobs by X (quick runs)
+  --trace FILE       record simulator/sweep spans and write a Chrome
+                     trace_event JSON to FILE (open in Perfetto). Spans carry
+                     logical sim time, so the trace is deterministic and the
+                     results payload stays byte-identical
+  --trace-wallclock  additionally stamp each span with wall time (makes the
+                     trace file non-deterministic; results are unaffected)
+  --metrics          collect obs metrics during the run and print the
+                     registry in Prometheus text form to stderr
+  --metrics-out FILE write the metrics registry as deterministic JSON to FILE
+                     (implies --metrics)
   --help             show this message
 )USAGE";
 
@@ -56,9 +68,13 @@ struct CliOptions {
     bool list = false;
     bool serial = false;
     bool finish_times = false;
+    bool metrics = false;
+    bool trace_wallclock = false;
     std::size_t threads = 0;
     std::string format = "json";
     std::string output_path;
+    std::string trace_path;
+    std::string metrics_out_path;
     std::optional<std::string> policy_override;
     std::optional<std::string> accountant_override;
     std::optional<double> scale;
@@ -124,6 +140,15 @@ CliOptions parse_cli(int argc, char** argv) {
                 fail_usage("--scale must be > 0");
             }
             options.scale = scale;
+        } else if (arg == "--trace") {
+            options.trace_path = next_arg(argc, argv, i, arg);
+        } else if (arg == "--trace-wallclock") {
+            options.trace_wallclock = true;
+        } else if (arg == "--metrics") {
+            options.metrics = true;
+        } else if (arg == "--metrics-out") {
+            options.metrics_out_path = next_arg(argc, argv, i, arg);
+            options.metrics = true;
         } else if (!arg.empty() && arg.front() == '-') {
             fail_usage("unknown option '" + std::string(arg) + "'");
         } else if (options.scenario_path.empty()) {
@@ -138,32 +163,40 @@ CliOptions parse_cli(int argc, char** argv) {
     return options;
 }
 
+/// Writes `text` to `file_path`, creating parent directories; throws on a
+/// short write. Shared by the results payload, --trace, and --metrics-out.
+void write_text_file(const std::string& file_path, const std::string& text) {
+    const std::filesystem::path path(file_path);
+    if (path.has_parent_path()) {
+        std::filesystem::create_directories(path.parent_path());
+    }
+    std::FILE* out = std::fopen(file_path.c_str(), "wb");
+    if (out == nullptr) {
+        throw ga::util::RuntimeError("ga-sim: cannot open '" + file_path +
+                                     "' for write");
+    }
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), out);
+    const bool closed = std::fclose(out) == 0;
+    if (written != text.size() || !closed) {
+        throw ga::util::RuntimeError("ga-sim: short write to '" + file_path +
+                                     "'");
+    }
+    std::fprintf(stderr, "wrote %zu bytes to %s\n", text.size(),
+                 file_path.c_str());
+}
+
 void write_payload(const CliOptions& cli, const std::string& payload) {
     if (cli.output_path.empty()) {
         std::fputs(payload.c_str(), stdout);
         return;
     }
-    const std::filesystem::path path(cli.output_path);
-    if (path.has_parent_path()) {
-        std::filesystem::create_directories(path.parent_path());
-    }
-    std::FILE* out = std::fopen(cli.output_path.c_str(), "wb");
-    if (out == nullptr) {
-        throw ga::util::RuntimeError("ga-sim: cannot open '" +
-                                     cli.output_path + "' for write");
-    }
-    const std::size_t written =
-        std::fwrite(payload.data(), 1, payload.size(), out);
-    const bool closed = std::fclose(out) == 0;
-    if (written != payload.size() || !closed) {
-        throw ga::util::RuntimeError("ga-sim: short write to '" +
-                                     cli.output_path + "'");
-    }
-    std::fprintf(stderr, "wrote %zu bytes to %s\n", payload.size(),
-                 cli.output_path.c_str());
+    write_text_file(cli.output_path, payload);
 }
 
 int run(const CliOptions& cli) {
+    if (cli.metrics) ga::obs::set_metrics_enabled(true);
+    if (!cli.trace_path.empty()) ga::obs::set_tracing_enabled(true);
+    if (cli.trace_wallclock) ga::obs::set_trace_wallclock(true);
     ga::io::ScenarioFile scenario =
         ga::io::load_scenario_file(cli.scenario_path);
     if (cli.scale.has_value()) scenario.scale_workload(*cli.scale);
@@ -225,6 +258,27 @@ int run(const CliOptions& cli) {
                            ? ga::io::results_to_csv(outcomes)
                            : ga::io::results_to_json_text(outcomes,
                                                           write_options));
+
+    // Observability exports come after the payload, once every worker has
+    // quiesced (the pool is idle after run()/run_serial() return).
+    if (!cli.trace_path.empty()) {
+        auto& tracer = ga::obs::Tracer::global();
+        write_text_file(cli.trace_path, tracer.render_chrome_trace());
+        if (tracer.dropped_events() > 0) {
+            std::fprintf(stderr,
+                         "trace ring overflow: %llu oldest events overwritten\n",
+                         static_cast<unsigned long long>(
+                             tracer.dropped_events()));
+        }
+    }
+    if (!cli.metrics_out_path.empty()) {
+        write_text_file(cli.metrics_out_path,
+                        ga::obs::Registry::global().render_json());
+    }
+    if (cli.metrics) {
+        std::fputs(ga::obs::Registry::global().render_prometheus().c_str(),
+                   stderr);
+    }
     return 0;
 }
 

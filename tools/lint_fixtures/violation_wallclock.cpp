@@ -1,6 +1,7 @@
-// ga-lint-expect: wall-clock
-// Fixture: wall-clock reads as simulation input. Virtual time comes from
-// the scenario; a clock read is a hidden nondeterministic input.
+// ga-lint-expect: obs-wallclock-outside-obs
+// Fixture: wall-clock reads outside the obs module. Virtual time comes
+// from the scenario; a clock read is a hidden nondeterministic input, and
+// diagnostic timing belongs in ga::obs::WallTimer (obs/walltime.hpp).
 #include <chrono>
 #include <ctime>
 

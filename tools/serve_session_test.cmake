@@ -14,11 +14,17 @@
 #
 # Expected -D variables: GA_SERVE (binary), SCENARIO, SCRIPT (request lines),
 # GOLDEN (committed transcript), WORKDIR (scratch root, wiped per run).
+# Optional: EXTRA_ARGS — extra ga-serve flags for every run (the metrics
+# variant passes --metrics to prove instrumentation never changes the
+# transcript bytes).
 foreach(var GA_SERVE SCENARIO SCRIPT GOLDEN WORKDIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "serve_session_test.cmake: missing -D${var}=...")
   endif()
 endforeach()
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS)
+endif()
 
 file(REMOVE_RECURSE "${WORKDIR}")
 file(MAKE_DIRECTORY "${WORKDIR}/full" "${WORKDIR}/split")
@@ -29,7 +35,7 @@ function(run_serve workdir input output)
     set(restore_args --restore "${ARGV3}")
   endif()
   execute_process(
-    COMMAND "${GA_SERVE}" "${SCENARIO}" ${restore_args}
+    COMMAND "${GA_SERVE}" "${SCENARIO}" ${EXTRA_ARGS} ${restore_args}
     WORKING_DIRECTORY "${workdir}"
     INPUT_FILE "${input}"
     OUTPUT_FILE "${output}"

@@ -1,0 +1,61 @@
+# CTest driver for the ga-sim observability bit-identity contract
+# (registered as `ga_sim_trace_bitidentity` in tools/CMakeLists.txt).
+#
+# Two runs over the committed smoke scenario, one plain and one with the
+# full observability surface enabled (--trace + --metrics-out). The results
+# payloads must be byte-identical: tracing and metrics are write-only
+# observers and may never perturb simulation output. The emitted trace and
+# metrics files are also sanity-checked for their deterministic framing.
+#
+# Expected -D variables: GA_SIM (binary), SCENARIO, WORKDIR (scratch root,
+# wiped per run).
+foreach(var GA_SIM SCENARIO WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sim_trace_test.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+function(run_sim output)
+  execute_process(
+    COMMAND "${GA_SIM}" "${SCENARIO}" --output "${output}" ${ARGN}
+    WORKING_DIRECTORY "${WORKDIR}"
+    ERROR_VARIABLE sim_stderr
+    RESULT_VARIABLE sim_status)
+  if(NOT sim_status EQUAL 0)
+    message(FATAL_ERROR "ga-sim exited with ${sim_status}:\n${sim_stderr}")
+  endif()
+endfunction()
+
+run_sim("${WORKDIR}/plain.json")
+run_sim("${WORKDIR}/traced.json"
+  --trace "${WORKDIR}/trace.json"
+  --metrics-out "${WORKDIR}/metrics.json")
+
+execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${WORKDIR}/plain.json" "${WORKDIR}/traced.json"
+                RESULT_VARIABLE differ)
+if(NOT differ EQUAL 0)
+  message(FATAL_ERROR
+    "results payload changed when tracing/metrics were enabled:\n"
+    "  ${WORKDIR}/plain.json\n  ${WORKDIR}/traced.json")
+endif()
+
+# The trace must exist and carry the Chrome trace_event framing; the metrics
+# export must exist and carry the registry sections. Full JSON validation
+# lives in tests/test_obs.cpp — this is a cheap end-to-end smoke.
+file(READ "${WORKDIR}/trace.json" trace_text LIMIT 64)
+if(NOT trace_text MATCHES "^\\{\"traceEvents\":\\[")
+  message(FATAL_ERROR
+    "trace file missing the trace_event prefix: ${WORKDIR}/trace.json")
+endif()
+file(READ "${WORKDIR}/metrics.json" metrics_text LIMIT 64)
+if(NOT metrics_text MATCHES "^\\{\"counters\":")
+  message(FATAL_ERROR
+    "metrics file missing the registry prefix: ${WORKDIR}/metrics.json")
+endif()
+
+message(STATUS
+  "ga-sim: results byte-identical with observability on; trace + metrics ok")
